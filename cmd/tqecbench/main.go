@@ -1,0 +1,128 @@
+// Command tqecbench regenerates the paper's experimental tables and
+// figure-shaped results.
+//
+// Usage:
+//
+//	tqecbench [-table N | -fig name | -all] [-benchmarks a,b,c] [-full]
+//	          [-iters N] [-seed S] [-no-ablations]
+//
+// Tables: 1 (benchmark statistics), 2 (space-time volumes vs canonical and
+// [22]), 3 (conference-version ablation), 4 (dimensions), 5 (bridging
+// ablation), 6 (runtime breakdown). Figures: "motivation" (Fig. 4/5),
+// "boxes" (Fig. 6/7), "friendnet" (Fig. 19).
+//
+// The default benchmark set holds the two smallest circuits; -full runs
+// all eight (the paper spends over an hour of workstation time there).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1-6)")
+	fig := flag.String("fig", "", "regenerate one figure: motivation, boxes, friendnet")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark names")
+	full := flag.Bool("full", false, "run all eight paper benchmarks")
+	iters := flag.Int("iters", 0, "SA move budget (0 = auto: 200 per node)")
+	seed := flag.Int64("seed", 1, "random seed")
+	noAblations := flag.Bool("no-ablations", false, "skip the no-bridging/conference runs")
+	flag.Parse()
+
+	if *table == 0 && *fig == "" && !*all {
+		*all = true
+	}
+
+	cfg := harness.DefaultConfig()
+	if *full {
+		cfg = harness.FullConfig()
+	}
+	if *benchmarks != "" {
+		cfg.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	cfg.PlaceIterations = *iters
+	cfg.Seed = *seed
+	if *noAblations {
+		cfg.Ablations = false
+	}
+	// Tables III and V need the ablation runs.
+	if (*table == 3 || *table == 5) && !cfg.Ablations {
+		fmt.Fprintln(os.Stderr, "tables 3 and 5 need ablations; ignoring -no-ablations")
+		cfg.Ablations = true
+	}
+
+	out := os.Stdout
+	if *fig != "" || *all {
+		if err := figures(*fig, *all, *seed, cfg); err != nil {
+			fatal(err)
+		}
+		if !*all && *table == 0 {
+			return
+		}
+	}
+
+	fmt.Fprintf(out, "Running %d benchmark(s): %s (ablations: %v)\n\n",
+		len(cfg.Benchmarks), strings.Join(cfg.Benchmarks, ", "), cfg.Ablations)
+	rows, err := harness.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	printed := false
+	show := func(n int, f func()) {
+		if *all || *table == n {
+			if printed {
+				fmt.Fprintln(out)
+			}
+			f()
+			printed = true
+		}
+	}
+	show(1, func() { harness.Table1(out, rows) })
+	show(2, func() { harness.Table2(out, rows) })
+	show(3, func() { harness.Table3(out, rows) })
+	show(4, func() { harness.Table4(out, rows) })
+	show(5, func() { harness.Table5(out, rows) })
+	show(6, func() { harness.Table6(out, rows) })
+	if *all {
+		fmt.Fprintln(out)
+		harness.Summary(out, rows)
+	}
+}
+
+func figures(which string, all bool, seed int64, cfg harness.Config) error {
+	out := os.Stdout
+	if all || which == "motivation" {
+		if err := harness.FigMotivation(out, seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if all || which == "boxes" {
+		harness.FigBoxes(out)
+		fmt.Fprintln(out)
+	}
+	if all || which == "friendnet" {
+		name := cfg.Benchmarks[0]
+		if err := harness.FigFriendNet(out, name, seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	switch which {
+	case "", "motivation", "boxes", "friendnet":
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %q", which)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tqecbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+// Command tqecc compresses one circuit through the full bridge-based
+// compression flow and reports the resulting geometry.
+//
+// Usage:
+//
+//	tqecc -bench 4gt10-v1_81 [-iters N] [-seed S] [-no-bridging]
+//	      [-conference] [-viz slices|csv|obj] [-o out.txt]
+//	tqecc -real circuit.real [...]
+//
+// Exactly one of -bench (a paper benchmark name) or -real (a RevLib .real
+// file) selects the input. -viz writes a layout rendering of the result
+// (the paper's Fig. 20) to -o (default stdout).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/qc"
+	"repro/internal/viz"
+	"repro/tqec"
+)
+
+func main() {
+	bench := flag.String("bench", "", "paper benchmark name (see -list)")
+	realFile := flag.String("real", "", "RevLib .real circuit file")
+	list := flag.Bool("list", false, "list available benchmarks")
+	iters := flag.Int("iters", 0, "SA move budget (0 = auto)")
+	seed := flag.Int64("seed", 1, "random seed")
+	noBridging := flag.Bool("no-bridging", false, "disable iterative bridging (Table V ablation)")
+	conference := flag.Bool("conference", false, "disable primal-group clustering (conference version [36])")
+	vizMode := flag.String("viz", "", "emit a layout rendering: slices, csv, svg or obj")
+	out := flag.String("o", "", "visualization output file (default stdout)")
+	flag.Parse()
+
+	if *list {
+		for _, b := range qc.Benchmarks {
+			fmt.Printf("%-16s %2d qubits, %3d gates\n", b.Name, b.Qubits, b.Gates())
+		}
+		return
+	}
+
+	circuit, err := loadCircuit(*bench, *realFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := tqec.DefaultOptions()
+	opts.Place.Iterations = *iters
+	opts.Place.Seed = *seed
+	opts.Bridging = !*noBridging
+	opts.PrimalGroups = !*conference
+	if *noBridging {
+		// Unbridged netlists keep every dual segment and net and need
+		// more routing resource (the paper's Table V explanation).
+		opts.Place.Margin = 2
+		opts.Place.TierPitch = 4
+	}
+
+	res, err := tqec.Compile(circuit, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	s := res.ICM.Stats()
+	fmt.Printf("circuit:   %s (%d qubits, %d gates)\n", circuit.Name, circuit.NumQubits(), circuit.NumGates())
+	fmt.Printf("ICM:       %d lines, %d CNOTs, %d |Y>, %d |A>\n", s.Lines, s.CNOTs, s.NumY, s.NumA)
+	fmt.Printf("netlist:   %d modules, %d loops -> %d structures (%d merges), %d nets\n",
+		len(res.Netlist.Modules), len(res.Netlist.Loops),
+		len(res.Bridging.Structures), res.Bridging.Merges, len(res.Bridging.Nets))
+	fmt.Printf("placement: %d nodes on %d tiers, wirelength %d\n",
+		res.Clustering.Stats().Nodes, res.Placement.Tiers, res.Placement.WireLength)
+	fmt.Printf("routing:   %d/%d nets routed (%d first pass, %d rip-ups)\n",
+		len(res.Routing.Routes), len(res.Bridging.Nets),
+		res.Routing.FirstPassRouted, res.Routing.RippedUp)
+	fmt.Printf("result:    %s  (canonical %d + boxes %d; compression x%.2f)\n",
+		res.Dims, res.CanonicalVolume, res.BoxVolume, res.CompressionRatio())
+	fmt.Printf("runtime breakdown:\n%s", res.Breakdown)
+
+	if *vizMode != "" {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		scene := viz.BuildScene(res.Placement, res.Routing)
+		switch *vizMode {
+		case "slices":
+			err = scene.WriteSlices(w)
+		case "csv":
+			err = scene.WriteCSV(w)
+		case "obj":
+			err = viz.WriteOBJ(w, res.Placement, res.Routing)
+		case "svg":
+			err = scene.WriteSVG(w, 4)
+		default:
+			err = fmt.Errorf("unknown viz mode %q", *vizMode)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadCircuit(bench, realFile string) (*qc.Circuit, error) {
+	switch {
+	case bench != "" && realFile != "":
+		return nil, fmt.Errorf("use either -bench or -real, not both")
+	case bench != "":
+		spec, err := qc.BenchmarkByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Generate(), nil
+	case realFile != "":
+		f, err := os.Open(realFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return qc.ParseReal(realFile, f)
+	default:
+		return nil, fmt.Errorf("select an input with -bench or -real (or -list)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tqecc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/icm"
+	"repro/internal/qc"
+)
+
+func icmFor(t testing.TB, c *qc.Circuit) *icm.Circuit {
+	t.Helper()
+	r, err := decompose.Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := icm.FromDecomposed(r.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic
+}
+
+func TestCanonicalLayout(t *testing.T) {
+	c := qc.New("c", 3)
+	c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2), qc.CNOT(0, 2))
+	ic := icmFor(t, c)
+	l := Canonical(ic)
+	if l.W != 3 || l.H != 2 || l.D != 9 {
+		t.Fatalf("canonical dims: %+v", l)
+	}
+	if l.Volume() != 54 {
+		t.Fatalf("volume: %d want 54", l.Volume())
+	}
+	if l.TotalVolume(100) != 154 {
+		t.Fatalf("total volume: %d", l.TotalVolume(100))
+	}
+}
+
+func TestLin1DDepthCompression(t *testing.T) {
+	// Two disjoint-interval CNOTs share a slot; an overlapping third
+	// cannot.
+	c := qc.New("1d", 5)
+	c.Append(qc.CNOT(0, 1), qc.CNOT(3, 4), qc.CNOT(1, 3))
+	ic := icmFor(t, c)
+	l, err := Lin1D(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,1) and (3,4) in slot 0; (1,3) in slot 1 → depth 2.
+	if l.D != 2 {
+		t.Fatalf("1D depth: %d want 2", l.D)
+	}
+	if l.H != 2 {
+		t.Fatalf("1D height: %d", l.H)
+	}
+	if l.W != rowSpacing1D*5-(rowSpacing1D-1) {
+		t.Fatalf("1D width: %d", l.W)
+	}
+}
+
+func TestLin1DRespectsProgramOrder(t *testing.T) {
+	// Same line pair twice: must serialize even though intervals match.
+	c := qc.New("order", 2)
+	c.Append(qc.CNOT(0, 1), qc.CNOT(0, 1))
+	ic := icmFor(t, c)
+	l, err := Lin1D(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.D != 2 {
+		t.Fatalf("depth: %d want 2 (program order)", l.D)
+	}
+}
+
+func TestLin2DPacksTighterThan1D(t *testing.T) {
+	spec, err := qc.BenchmarkByName("4gt10-v1_81")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := icmFor(t, spec.Generate())
+	l1, err := Lin1D(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Lin2D(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Volume() >= l1.Volume() {
+		t.Fatalf("2D (%d) should beat 1D (%d)", l2.Volume(), l1.Volume())
+	}
+	if l2.H != 8 {
+		t.Fatalf("2D height: %d want 8", l2.H)
+	}
+	t.Logf("canonical %d, 1D %d, 2D %d", Canonical(ic).Volume(), l1.Volume(), l2.Volume())
+}
+
+func TestBaselinesBeatCanonical(t *testing.T) {
+	// Table II ordering: canonical > 1D > 2D on every benchmark.
+	for _, name := range []string{"4gt10-v1_81", "4gt4-v0_73"} {
+		spec, err := qc.BenchmarkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ic := icmFor(t, spec.Generate())
+		can := Canonical(ic).Volume()
+		l1, err := Lin1D(ic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Lin2D(ic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(can > l1.Volume() && l1.Volume() > l2.Volume()) {
+			t.Fatalf("%s: ordering broken: canonical %d, 1D %d, 2D %d",
+				name, can, l1.Volume(), l2.Volume())
+		}
+	}
+}
+
+func TestScheduleRespectsConflicts(t *testing.T) {
+	c := qc.New("conf", 6)
+	c.Append(qc.CNOT(0, 3), qc.CNOT(2, 5)) // overlapping intervals [0,3], [2,5]
+	ic := icmFor(t, c)
+	l, err := Lin1D(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.D != 2 {
+		t.Fatalf("conflicting intervals must serialize: depth %d", l.D)
+	}
+}
+
+func TestRejectsInvalidICM(t *testing.T) {
+	bad := &icm.Circuit{
+		CNOTs: []icm.CNOT{{ID: 0, Control: 0, Target: 9}},
+		TSL:   map[int][]int{},
+	}
+	if _, err := Lin1D(bad); err == nil {
+		t.Fatal("invalid ICM accepted by Lin1D")
+	}
+	if _, err := Lin2D(bad); err == nil {
+		t.Fatal("invalid ICM accepted by Lin2D")
+	}
+}

@@ -1,0 +1,135 @@
+// Package canonical builds the canonical 3D geometric description of an
+// ICM circuit (Section I and Fig. 4 of the paper).
+//
+// In the canonical form every ICM line becomes a pair of primal defect
+// rails stretched along the time (x) axis, lines are stacked along the
+// width (y) axis, and each CNOT occupies three consecutive time units in
+// which its ancillary dual loop braids the control rail pair and threads
+// the target rail pair. With L lines and C CNOTs the canonical description
+// therefore measures D×W×H = 3C × L × 2, the volume baseline of Tables II
+// and IV ("Canonical" columns).
+package canonical
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/icm"
+)
+
+// SlotWidth is the number of time units one CNOT occupies in canonical form.
+const SlotWidth = 3
+
+// Description is the canonical geometric description of an ICM circuit.
+type Description struct {
+	ICM *icm.Circuit
+	// Slot assigns each CNOT its sequential canonical time slot (slot j
+	// occupies x ∈ [3j, 3j+3)).
+	Slot []int
+	// FirstSlot and LastSlot bound each line's lifetime: a line's primal
+	// rails run from its initialization just before its first CNOT to its
+	// measurement just after its last CNOT. Lines with no CNOT have
+	// FirstSlot > LastSlot.
+	FirstSlot, LastSlot []int
+	// Bounds is the occupied bounding box.
+	Bounds geom.Box
+}
+
+// Build lays out ic in canonical form: CNOT j at slot j, line i at y = i.
+func Build(ic *icm.Circuit) (*Description, error) {
+	if err := ic.Validate(); err != nil {
+		return nil, fmt.Errorf("canonical: %w", err)
+	}
+	d := &Description{
+		ICM:       ic,
+		Slot:      make([]int, len(ic.CNOTs)),
+		FirstSlot: make([]int, len(ic.Lines)),
+		LastSlot:  make([]int, len(ic.Lines)),
+	}
+	for i := range ic.Lines {
+		d.FirstSlot[i] = len(ic.CNOTs) // sentinel: after everything
+		d.LastSlot[i] = -1
+	}
+	for i, g := range ic.CNOTs {
+		d.Slot[i] = i
+		for _, ln := range []int{g.Control, g.Target} {
+			if i < d.FirstSlot[ln] {
+				d.FirstSlot[ln] = i
+			}
+			if i > d.LastSlot[ln] {
+				d.LastSlot[ln] = i
+			}
+		}
+	}
+	depth := SlotWidth * len(ic.CNOTs)
+	if depth == 0 {
+		depth = 1 // a gateless circuit still occupies its I/M column
+	}
+	d.Bounds = geom.NewBox(0, 0, 0, depth, len(ic.Lines), 2)
+	return d, nil
+}
+
+// Dims returns the width (y), height (z) and depth (x = time) extents,
+// matching the W/H/D columns of Table IV.
+func (d *Description) Dims() (w, h, depth int) {
+	return d.Bounds.Dy(), d.Bounds.Dz(), d.Bounds.Dx()
+}
+
+// Volume returns the space-time volume of the canonical description.
+func (d *Description) Volume() int { return d.Bounds.Volume() }
+
+// LineRail returns the box occupied by rail z ∈ {0,1} of line i.
+func (d *Description) LineRail(line, rail int) geom.Box {
+	return geom.NewBox(0, line, rail, d.Bounds.Dx(), line+1, rail+1)
+}
+
+// LoopSpan returns the inclusive line range [lo, hi] penetrated by the dual
+// loop of CNOT id: every line between (and including) control and target.
+// Intermediate rails pass through the loop; modularization keeps those
+// crossings as dual segments of the corresponding modules (Section II-C).
+func (d *Description) LoopSpan(id int) (lo, hi int) {
+	g := d.ICM.CNOTs[id]
+	lo, hi = g.Control, g.Target
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo, hi
+}
+
+// Alive reports whether line ln physically exists at slot s: its primal
+// rails run from just before its first CNOT to just after its last.
+func (d *Description) Alive(ln, s int) bool {
+	return d.FirstSlot[ln] <= s && s <= d.LastSlot[ln]
+}
+
+// Penetrations returns the lines whose primal loops the dual loop of CNOT
+// id passes through: its control and target, plus every line between them
+// that is alive at the CNOT's slot (dead lines leave no rails to cross).
+// These are exactly the dual segments modularization keeps (Section II-C).
+func (d *Description) Penetrations(id int) []int {
+	lo, hi := d.LoopSpan(id)
+	s := d.Slot[id]
+	g := d.ICM.CNOTs[id]
+	out := make([]int, 0, 4)
+	for ln := lo; ln <= hi; ln++ {
+		if ln == g.Control || ln == g.Target || d.Alive(ln, s) {
+			out = append(out, ln)
+		}
+	}
+	return out
+}
+
+// LoopBox returns the bounding box of the dual loop of CNOT id in the
+// canonical layout.
+func (d *Description) LoopBox(id int) geom.Box {
+	lo, hi := d.LoopSpan(id)
+	x0 := d.Slot[id] * SlotWidth
+	return geom.NewBox(x0, lo, 0, x0+SlotWidth, hi+1, 2)
+}
+
+// TotalVolume returns the canonical volume plus the lower-bound volume of
+// the required distillation boxes (the "Canonical" column of Table II adds
+// Vol_|Y⟩ + Vol_|A⟩ to the synthesized volume).
+func (d *Description) TotalVolume(boxVolume int) int {
+	return d.Volume() + boxVolume
+}

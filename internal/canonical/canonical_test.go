@@ -1,0 +1,188 @@
+package canonical
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/decompose"
+	"repro/internal/icm"
+	"repro/internal/qc"
+)
+
+func build(t *testing.T, c *qc.Circuit) *Description {
+	t.Helper()
+	r, err := decompose.Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := icm.FromDecomposed(r.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Build(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCanonicalDims(t *testing.T) {
+	c := qc.New("three", 3)
+	c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2), qc.CNOT(0, 2))
+	d := build(t, c)
+	w, h, depth := d.Dims()
+	if w != 3 || h != 2 || depth != 9 {
+		t.Fatalf("dims: %d×%d×%d want 3×2×9", w, h, depth)
+	}
+	if d.Volume() != 54 {
+		t.Fatalf("volume: %d want 54 (the paper's Fig. 4 canonical volume)", d.Volume())
+	}
+}
+
+func TestCanonicalVolumeIdentity(t *testing.T) {
+	// Table IV canonical columns: Vol = #Qubits_d × 2 × 3·#CNOTs. Check
+	// against the 4gt10 benchmark with our calibration.
+	spec, err := qc.BenchmarkByName("4gt10-v1_81")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := build(t, spec.Generate())
+	w, h, depth := d.Dims()
+	wantLines := spec.Qubits + 41*spec.Toffolis
+	wantCNOTs := 54*spec.Toffolis + spec.CNOTs
+	if w != wantLines || h != 2 || depth != 3*wantCNOTs {
+		t.Fatalf("dims %d×%d×%d want %d×2×%d", w, h, depth, wantLines, 3*wantCNOTs)
+	}
+	if d.Volume() != wantLines*2*3*wantCNOTs {
+		t.Fatalf("volume: %d", d.Volume())
+	}
+}
+
+func TestTotalVolumeAddsBoxes(t *testing.T) {
+	c := qc.New("t", 1)
+	c.Append(qc.T(0))
+	d := build(t, c)
+	if d.TotalVolume(100) != d.Volume()+100 {
+		t.Fatal("TotalVolume should add box volume")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	c := qc.New("life", 3)
+	c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2), qc.CNOT(0, 2))
+	d := build(t, c)
+	// Line 1 participates in CNOTs at slots 0 and 1 only.
+	if !d.Alive(1, 0) || !d.Alive(1, 1) {
+		t.Error("line 1 should be alive at slots 0-1")
+	}
+	if d.Alive(1, 2) {
+		t.Error("line 1 should be dead at slot 2")
+	}
+	// Line 0 is alive for the whole schedule.
+	for s := 0; s < 3; s++ {
+		if !d.Alive(0, s) {
+			t.Errorf("line 0 dead at slot %d", s)
+		}
+	}
+}
+
+func TestPenetrationsSkipDeadLines(t *testing.T) {
+	c := qc.New("pen", 3)
+	c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2), qc.CNOT(0, 2))
+	d := build(t, c)
+	p := d.Penetrations(2) // CNOT(0,2) at slot 2; line 1 dead
+	if len(p) != 2 || p[0] != 0 || p[1] != 2 {
+		t.Fatalf("penetrations: %v want [0 2]", p)
+	}
+	p0 := d.Penetrations(0)
+	if len(p0) != 2 {
+		t.Fatalf("loop 0 penetrations: %v", p0)
+	}
+}
+
+func TestLoopGeometry(t *testing.T) {
+	c := qc.New("geo", 2)
+	c.Append(qc.CNOT(0, 1))
+	d := build(t, c)
+	lb := d.LoopBox(0)
+	if lb.Dx() != SlotWidth || lb.Dy() != 2 || lb.Dz() != 2 {
+		t.Fatalf("loop box: %v", lb)
+	}
+	r0 := d.LineRail(0, 0)
+	r1 := d.LineRail(0, 1)
+	if r0.Intersects(r1) {
+		t.Fatal("rails of one line must be disjoint")
+	}
+	if r0.Dy() != 1 || r0.Dz() != 1 {
+		t.Fatalf("rail shape: %v", r0)
+	}
+}
+
+func TestEmptyCircuit(t *testing.T) {
+	ic := &icm.Circuit{Name: "empty", TSL: map[int][]int{}}
+	d, err := Build(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Volume() != 0 {
+		t.Fatalf("gateless, lineless circuit volume: %d", d.Volume())
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	ic := &icm.Circuit{
+		Name:  "bad",
+		CNOTs: []icm.CNOT{{ID: 0, Control: 0, Target: 5}},
+		TSL:   map[int][]int{},
+	}
+	if _, err := Build(ic); err == nil {
+		t.Fatal("invalid ICM accepted")
+	}
+}
+
+// Property: every loop's penetration list always contains control and
+// target and is sorted ascending.
+func TestQuickPenetrations(t *testing.T) {
+	f := func(q uint8, nt uint8, seed int64) bool {
+		spec := qc.BenchmarkSpec{
+			Name:     "fuzz",
+			Qubits:   3 + int(q%8),
+			Toffolis: 1 + int(nt%6),
+			Seed:     seed,
+		}
+		r, err := decompose.Decompose(spec.Generate())
+		if err != nil {
+			return false
+		}
+		ic, err := icm.FromDecomposed(r.Circuit)
+		if err != nil {
+			return false
+		}
+		d, err := Build(ic)
+		if err != nil {
+			return false
+		}
+		for id, g := range ic.CNOTs {
+			p := d.Penetrations(id)
+			hasC, hasT := false, false
+			for i, ln := range p {
+				if ln == g.Control {
+					hasC = true
+				}
+				if ln == g.Target {
+					hasT = true
+				}
+				if i > 0 && p[i-1] >= ln {
+					return false
+				}
+			}
+			if !hasC || !hasT {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+package decompose
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qc"
+)
+
+func lower(t *testing.T, c *qc.Circuit) *Result {
+	t.Helper()
+	r, err := Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDecomposePassThrough(t *testing.T) {
+	c := qc.New("pass", 2)
+	c.Append(qc.CNOT(0, 1), qc.T(0), qc.P(1), qc.V(0), qc.Tdag(1))
+	r := lower(t, c)
+	if r.Circuit.NumGates() != 5 {
+		t.Fatalf("pass-through changed gate count: %d", r.Circuit.NumGates())
+	}
+	for i, g := range r.Circuit.Gates {
+		if g.Kind != c.Gates[i].Kind {
+			t.Errorf("gate %d kind changed: %v", i, g.Kind)
+		}
+	}
+}
+
+func TestDecomposeToffoliComposition(t *testing.T) {
+	c := qc.New("tof", 3)
+	c.Append(qc.Toffoli(0, 1, 2))
+	r := lower(t, c)
+	s := Count(r.Circuit)
+	// Paper calibration: Toffoli → 6 CNOT, 7 T/T†, 2 H where each H = P·V·P.
+	if s.Ts != 7 {
+		t.Errorf("T count: %d want 7", s.Ts)
+	}
+	if s.CNOTs != 6 {
+		t.Errorf("CNOT count: %d want 6", s.CNOTs)
+	}
+	if s.Ps != 4 || s.Vs != 2 {
+		t.Errorf("H lowering: %d P, %d V want 4, 2", s.Ps, s.Vs)
+	}
+	if r.AncillaQubits != 0 {
+		t.Errorf("toffoli should need no workspace ancillas")
+	}
+}
+
+func TestDecomposeHadamard(t *testing.T) {
+	c := qc.New("h", 1)
+	c.Append(qc.H(0))
+	r := lower(t, c)
+	kinds := []qc.GateKind{qc.GateP, qc.GateV, qc.GateP}
+	if len(r.Circuit.Gates) != 3 {
+		t.Fatalf("H should lower to 3 gates, got %d", len(r.Circuit.Gates))
+	}
+	for i, k := range kinds {
+		if r.Circuit.Gates[i].Kind != k {
+			t.Errorf("gate %d: %v want %v", i, r.Circuit.Gates[i].Kind, k)
+		}
+	}
+}
+
+func TestDecomposeSwapFredkin(t *testing.T) {
+	c := qc.New("sf", 3)
+	c.Append(qc.Swap(0, 1))
+	r := lower(t, c)
+	if s := Count(r.Circuit); s.CNOTs != 3 || s.Ts != 0 {
+		t.Fatalf("swap: %+v", s)
+	}
+
+	c2 := qc.New("fred", 3)
+	c2.Append(qc.Fredkin(0, 1, 2))
+	r2 := lower(t, c2)
+	s2 := Count(r2.Circuit)
+	// Fredkin = CNOT · Toffoli · CNOT.
+	if s2.CNOTs != 8 || s2.Ts != 7 {
+		t.Fatalf("fredkin: %+v", s2)
+	}
+}
+
+func TestDecomposeControlledV(t *testing.T) {
+	c := qc.New("cv", 2)
+	c.Append(qc.Gate{Kind: qc.GateV, Controls: []int{0}, Targets: []int{1}})
+	r := lower(t, c)
+	s := Count(r.Circuit)
+	if s.CNOTs != 2 || s.Ts != 3 {
+		t.Fatalf("controlled-V: %+v", s)
+	}
+	// Plain V passes through.
+	c2 := qc.New("v", 1)
+	c2.Append(qc.V(0))
+	r2 := lower(t, c2)
+	if r2.Circuit.NumGates() != 1 || r2.Circuit.Gates[0].Kind != qc.GateV {
+		t.Fatalf("plain V should pass through")
+	}
+}
+
+func TestDecomposeMCT(t *testing.T) {
+	c := qc.New("mct", 5)
+	c.Append(qc.MCT([]int{0, 1, 2, 3}, 4))
+	r := lower(t, c)
+	if r.AncillaQubits != 2 {
+		t.Fatalf("4-control MCT needs 2 ancillas, got %d", r.AncillaQubits)
+	}
+	s := Count(r.Circuit)
+	// 2(k−2)+1 = 5 Toffolis, each with 7 T gates.
+	if s.Ts != 5*7 {
+		t.Fatalf("MCT T count: %d want 35", s.Ts)
+	}
+	if err := r.Circuit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeMCTThreeControls(t *testing.T) {
+	c := qc.New("mct3", 4)
+	c.Append(qc.MCT([]int{0, 1, 2}, 3))
+	r := lower(t, c)
+	if r.AncillaQubits != 1 {
+		t.Fatalf("3-control MCT needs 1 ancilla, got %d", r.AncillaQubits)
+	}
+	if s := Count(r.Circuit); s.Ts != 3*7 {
+		t.Fatalf("T count: %d want 21", s.Ts)
+	}
+}
+
+func TestDecomposePauliFrame(t *testing.T) {
+	c := qc.New("pauli", 2)
+	c.Append(qc.NOT(0), qc.Gate{Kind: qc.GateZ, Targets: []int{1}})
+	r := lower(t, c)
+	if s := Count(r.Circuit); s.Paulis != 2 || s.CNOTs != 0 {
+		t.Fatalf("pauli frame: %+v", s)
+	}
+}
+
+func TestDecomposeRejectsInvalid(t *testing.T) {
+	c := qc.New("bad", 1)
+	c.Append(qc.CNOT(0, 5))
+	if _, err := Decompose(c); err == nil {
+		t.Fatal("invalid input accepted")
+	}
+}
+
+func TestDecomposeBenchmarkCalibration(t *testing.T) {
+	// The paper-facing identity: #|A⟩ = #T-type gates = 7·#Toffoli and the
+	// CNOT count after decomposition ≈ 8·#|A⟩ (within a few percent).
+	spec, err := qc.BenchmarkByName("4gt10-v1_81")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := lower(t, spec.Generate())
+	s := Count(r.Circuit)
+	if s.Ts != 7*spec.Toffolis {
+		t.Fatalf("T gates: %d want %d", s.Ts, 7*spec.Toffolis)
+	}
+	if s.CNOTs != 6*spec.Toffolis+spec.CNOTs {
+		t.Fatalf("CNOTs: %d want %d", s.CNOTs, 6*spec.Toffolis+spec.CNOTs)
+	}
+	if s.Vs != 2*spec.Toffolis {
+		t.Fatalf("V gates: %d want %d", s.Vs, 2*spec.Toffolis)
+	}
+}
+
+// Property: decomposition always yields a valid circuit containing only the
+// TQEC gate set, regardless of the reversible input mix.
+func TestQuickDecomposeClosed(t *testing.T) {
+	f := func(q uint8, nt, nc, nn uint8, seed int64) bool {
+		spec := qc.BenchmarkSpec{
+			Name:     "fuzz",
+			Qubits:   3 + int(q%20),
+			Toffolis: int(nt % 20),
+			CNOTs:    int(nc % 20),
+			NOTs:     int(nn % 20),
+			Seed:     seed,
+		}
+		r, err := Decompose(spec.Generate())
+		if err != nil {
+			return false
+		}
+		for _, g := range r.Circuit.Gates {
+			switch g.Kind {
+			case qc.GateCNOT, qc.GateP, qc.GatePdag, qc.GateV, qc.GateVdag,
+				qc.GateT, qc.GateTdag, qc.GateNOT:
+			default:
+				return false
+			}
+		}
+		return r.Circuit.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package decompose
+
+import (
+	"testing"
+
+	"repro/internal/qc"
+	"repro/internal/sim"
+)
+
+// checkEquivalent verifies that the decomposition of `orig` implements the
+// same unitary as `orig` itself (up to one global phase) on every basis
+// state, using the dense state-vector simulator.
+func checkEquivalent(t *testing.T, orig *qc.Circuit) {
+	t.Helper()
+	r, err := Decompose(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(r.Circuit.Qubits) // includes MCT workspace ancillas
+	// Pad the original to the same width (extra qubits untouched) and
+	// compare only on clean-ancilla inputs, the V-chain's contract.
+	padded := orig.Clone()
+	padded.Qubits = append([]string(nil), r.Circuit.Qubits...)
+	ok, err := sim.EquivalentOnCleanAncillas(n, orig.NumQubits(), padded, r.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("decomposition of %s is not unitarily equivalent", orig.Name)
+	}
+}
+
+func TestToffoliNetworkEquivalence(t *testing.T) {
+	c := qc.New("toffoli", 3)
+	c.Append(qc.Toffoli(0, 1, 2))
+	checkEquivalent(t, c)
+}
+
+func TestToffoliAllOrientations(t *testing.T) {
+	perms := [][3]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {0, 2, 1}}
+	for _, p := range perms {
+		c := qc.New("tof", 3)
+		c.Append(qc.Toffoli(p[0], p[1], p[2]))
+		checkEquivalent(t, c)
+	}
+}
+
+func TestHadamardPVPEquivalence(t *testing.T) {
+	c := qc.New("h", 1)
+	c.Append(qc.H(0))
+	checkEquivalent(t, c)
+}
+
+func TestFredkinEquivalence(t *testing.T) {
+	c := qc.New("fredkin", 3)
+	c.Append(qc.Fredkin(0, 1, 2))
+	checkEquivalent(t, c)
+}
+
+func TestSwapEquivalence(t *testing.T) {
+	c := qc.New("swap", 2)
+	c.Append(qc.Swap(0, 1))
+	checkEquivalent(t, c)
+}
+
+func TestControlledVEquivalence(t *testing.T) {
+	c := qc.New("cv", 2)
+	c.Append(qc.Gate{Kind: qc.GateV, Controls: []int{0}, Targets: []int{1}})
+	checkEquivalent(t, c)
+
+	cd := qc.New("cvdag", 2)
+	cd.Append(qc.Gate{Kind: qc.GateVdag, Controls: []int{0}, Targets: []int{1}})
+	checkEquivalent(t, cd)
+}
+
+func TestMCTEquivalence(t *testing.T) {
+	// 3-control MCT expands with one clean ancilla; the ancilla must be
+	// returned to |0⟩, which EquivalentUpToPhase verifies implicitly on
+	// the padded original (which leaves the ancilla untouched).
+	c := qc.New("mct3", 4)
+	c.Append(qc.MCT([]int{0, 1, 2}, 3))
+	checkEquivalent(t, c)
+}
+
+func TestCompositeCircuitEquivalence(t *testing.T) {
+	c := qc.New("mix", 3)
+	c.Append(
+		qc.NOT(0),
+		qc.Toffoli(0, 1, 2),
+		qc.CNOT(2, 1),
+		qc.H(1),
+		qc.Fredkin(2, 0, 1),
+		qc.T(0),
+		qc.Swap(1, 2),
+	)
+	checkEquivalent(t, c)
+}
+
+func TestGeneratedBenchmarkEquivalence(t *testing.T) {
+	// A seeded 4-qubit generated workload, end to end.
+	spec := qc.BenchmarkSpec{Name: "equiv", Qubits: 4, Toffolis: 3, CNOTs: 2, NOTs: 2, Seed: 99}
+	checkEquivalent(t, spec.Generate())
+}

@@ -1,0 +1,115 @@
+// Package distill models the |Y⟩ and |A⟩ state distillation circuits and
+// their optimized TQEC boxes (Section II-A of the paper).
+//
+// Following the paper, the geometric flow treats a distillation circuit as
+// an opaque box reserved in the layout: the |Y⟩ box occupies 3×3×2 = 18
+// cells and the |A⟩ box 16×6×2 = 192 cells — the manually optimized volumes
+// of Fowler & Devitt that the paper adopts (Figs. 6 and 7). The package
+// also provides the distillation circuits in ICM form so the full flow can
+// be exercised end-to-end on them (the |Y⟩ circuit is the scenario Fowler &
+// Devitt compressed by hand, which examples/distillation automates).
+package distill
+
+import (
+	"repro/internal/geom"
+	"repro/internal/icm"
+)
+
+// Box dimensions of the optimized distillation circuits used by the paper
+// ([20]): |Y⟩ is 3×3×2 and |A⟩ is 16×6×2, with the x axis being time.
+var (
+	// YBoxSize is the (time, width, height) extent of a |Y⟩ box.
+	YBoxSize = geom.Pt(3, 3, 2)
+	// ABoxSize is the (time, width, height) extent of an |A⟩ box.
+	ABoxSize = geom.Pt(16, 6, 2)
+)
+
+// YBoxVolume is the space-time volume of one |Y⟩ state distillation box.
+const YBoxVolume = 18
+
+// ABoxVolume is the space-time volume of one |A⟩ state distillation box.
+const ABoxVolume = 192
+
+// BoxVolume returns the total lower-bound distillation volume for a circuit
+// consuming nY |Y⟩ ancillas and nA |A⟩ ancillas (the paper's Vol_|Y⟩ +
+// Vol_|A⟩ columns of Table I).
+func BoxVolume(nY, nA int) int {
+	return nY*YBoxVolume + nA*ABoxVolume
+}
+
+// YCircuit returns the |Y⟩ state distillation circuit in ICM form
+// (Fig. 6(a)): the Steane-code-based 7-to-1 distillation. Seven noisy |Y⟩
+// states are injected, verified against the code stabilizers via CNOTs and
+// X-basis measurements, and one high-fidelity |Y⟩ is produced on the
+// output line.
+func YCircuit() *icm.Circuit {
+	c := &icm.Circuit{Name: "distill-Y", TSL: map[int][]int{}, NumLogical: 1}
+	// Output line carrying the distilled state.
+	out := addLine(c, icm.InitZero, icm.MeasOut, "yout", 0)
+	// Seven noisy |Y⟩ injections.
+	inj := make([]int, 7)
+	for i := range inj {
+		inj[i] = addLine(c, icm.InjectY, icm.MeasX, "", -1)
+	}
+	// Steane [[7,1,3]] encoding CNOT pattern: each of the three X
+	// stabilizer generators couples four injected qubits; the decoded
+	// qubit couples to the output.
+	stabilizers := [][4]int{
+		{0, 2, 4, 6},
+		{1, 2, 5, 6},
+		{3, 4, 5, 6},
+	}
+	for _, s := range stabilizers {
+		for i := 1; i < 4; i++ {
+			addCNOT(c, inj[s[0]], inj[s[i]])
+		}
+	}
+	// Decode onto the output line.
+	addCNOT(c, inj[6], out)
+	addCNOT(c, inj[5], out)
+	addCNOT(c, inj[3], out)
+	return c
+}
+
+// ACircuit returns the |A⟩ state distillation circuit in ICM form
+// (Fig. 7(a)): the Reed-Muller-code-based 15-to-1 distillation. Fifteen
+// noisy |A⟩ states are injected and one high-fidelity |A⟩ is produced.
+func ACircuit() *icm.Circuit {
+	c := &icm.Circuit{Name: "distill-A", TSL: map[int][]int{}, NumLogical: 1}
+	out := addLine(c, icm.InitZero, icm.MeasOut, "aout", 0)
+	inj := make([]int, 15)
+	for i := range inj {
+		inj[i] = addLine(c, icm.InjectA, icm.MeasX, "", -1)
+	}
+	// [[15,1,3]] punctured Reed-Muller encoding: the four X stabilizer
+	// generators follow the RM(1,4) pattern — qubit q (1-based) is in
+	// generator g when bit g of q is set.
+	for g := 0; g < 4; g++ {
+		var members []int
+		for q := 1; q <= 15; q++ {
+			if q&(1<<g) != 0 {
+				members = append(members, q-1)
+			}
+		}
+		for i := 1; i < len(members); i++ {
+			addCNOT(c, inj[members[0]], inj[members[i]])
+		}
+	}
+	// Decode onto the output line from the weight-15 logical operator's
+	// representative qubits.
+	addCNOT(c, inj[14], out)
+	addCNOT(c, inj[13], out)
+	addCNOT(c, inj[11], out)
+	addCNOT(c, inj[7], out)
+	return c
+}
+
+func addLine(c *icm.Circuit, init icm.InitKind, meas icm.MeasKind, label string, qubit int) int {
+	id := len(c.Lines)
+	c.Lines = append(c.Lines, icm.Line{ID: id, Init: init, Meas: meas, Label: label, Qubit: qubit})
+	return id
+}
+
+func addCNOT(c *icm.Circuit, control, target int) {
+	c.CNOTs = append(c.CNOTs, icm.CNOT{ID: len(c.CNOTs), Control: control, Target: target})
+}

@@ -1,0 +1,97 @@
+package distill
+
+import (
+	"testing"
+
+	"repro/internal/icm"
+)
+
+func TestBoxVolumes(t *testing.T) {
+	if YBoxSize.X*YBoxSize.Y*YBoxSize.Z != YBoxVolume {
+		t.Errorf("Y box size inconsistent with volume")
+	}
+	if ABoxSize.X*ABoxSize.Y*ABoxSize.Z != ABoxVolume {
+		t.Errorf("A box size inconsistent with volume")
+	}
+	if YBoxVolume != 18 || ABoxVolume != 192 {
+		t.Errorf("paper volumes: Y=%d A=%d", YBoxVolume, ABoxVolume)
+	}
+}
+
+func TestBoxVolumeTableI(t *testing.T) {
+	// Table I, 4gt10-v1_81: 42 |Y⟩ → 756, 21 |A⟩ → 4032.
+	if got := BoxVolume(42, 0); got != 756 {
+		t.Errorf("Vol_|Y⟩: %d want 756", got)
+	}
+	if got := BoxVolume(0, 21); got != 4032 {
+		t.Errorf("Vol_|A⟩: %d want 4032", got)
+	}
+	if got := BoxVolume(42, 21); got != 756+4032 {
+		t.Errorf("total: %d", got)
+	}
+	// ham15_107: 1246 |Y⟩ → 22428, 623 |A⟩ → 119616.
+	if got := BoxVolume(1246, 623); got != 22428+119616 {
+		t.Errorf("ham15 box volume: %d", got)
+	}
+}
+
+func TestYCircuitShape(t *testing.T) {
+	c := YCircuit()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.NumY != 7 {
+		t.Errorf("|Y⟩ injections: %d want 7", s.NumY)
+	}
+	if s.NumA != 0 {
+		t.Errorf("|A⟩ injections: %d want 0", s.NumA)
+	}
+	if s.Lines != 8 {
+		t.Errorf("lines: %d want 8", s.Lines)
+	}
+	if s.CNOTs == 0 {
+		t.Error("no CNOTs")
+	}
+	if c.Lines[0].Meas != icm.MeasOut {
+		t.Error("output line should be unmeasured")
+	}
+}
+
+func TestACircuitShape(t *testing.T) {
+	c := ACircuit()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.NumA != 15 {
+		t.Errorf("|A⟩ injections: %d want 15", s.NumA)
+	}
+	if s.Lines != 16 {
+		t.Errorf("lines: %d want 16", s.Lines)
+	}
+	// RM(1,4) stabilizers touch 8 qubits each → 7 CNOTs per generator,
+	// plus 4 decode CNOTs.
+	if s.CNOTs != 4*7+4 {
+		t.Errorf("CNOTs: %d want %d", s.CNOTs, 4*7+4)
+	}
+}
+
+func TestStabilizerCoverage(t *testing.T) {
+	// Every injected line of the Y circuit must participate in ≥1 CNOT:
+	// an uncoupled injection would be undistilled.
+	for _, c := range []*icm.Circuit{YCircuit(), ACircuit()} {
+		touched := make(map[int]bool)
+		for _, g := range c.CNOTs {
+			touched[g.Control] = true
+			touched[g.Target] = true
+		}
+		for _, l := range c.Lines {
+			if l.Init == icm.InjectY || l.Init == icm.InjectA {
+				if !touched[l.ID] {
+					t.Errorf("%s: injected line %d uncoupled", c.Name, l.ID)
+				}
+			}
+		}
+	}
+}

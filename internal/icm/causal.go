@@ -1,0 +1,202 @@
+package icm
+
+import "fmt"
+
+// EventKind classifies causal-graph events.
+type EventKind int
+
+// Event kinds of the causal graph.
+const (
+	EvInit EventKind = iota
+	EvCNOT
+	EvMeas
+)
+
+// String returns a short mnemonic.
+func (k EventKind) String() string {
+	switch k {
+	case EvInit:
+		return "init"
+	case EvCNOT:
+		return "cnot"
+	case EvMeas:
+		return "meas"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one node of the causal graph: a line initialization, a CNOT, or
+// a line measurement.
+type Event struct {
+	Kind EventKind
+	// Line identifies the line for init/meas events; CNOT identifies the
+	// gate for cnot events.
+	Line, CNOT int
+}
+
+// CausalGraph is the DAG of temporal orderings of an ICM circuit (the
+// causal graph of Paler & Wille, Section I-B), extended with the paper's
+// time-ordered measurement constraints: a T block's input Z measurement
+// precedes its selective teleportation measurements, and selective
+// measurements of successive T gates on one qubit are ordered.
+type CausalGraph struct {
+	Events []Event
+	// Succ holds successor event indices per event.
+	Succ [][]int
+	// eventOf locates init/meas/cnot events for lookups.
+	initOf, measOf []int
+	cnotOf         []int
+}
+
+// BuildCausalGraph constructs the DAG. It never fails on a valid Circuit;
+// Validate the circuit first if unsure.
+func (c *Circuit) BuildCausalGraph() *CausalGraph {
+	g := &CausalGraph{
+		initOf: make([]int, len(c.Lines)),
+		measOf: make([]int, len(c.Lines)),
+		cnotOf: make([]int, len(c.CNOTs)),
+	}
+	add := func(e Event) int {
+		g.Events = append(g.Events, e)
+		g.Succ = append(g.Succ, nil)
+		return len(g.Events) - 1
+	}
+	for i := range c.Lines {
+		g.initOf[i] = add(Event{Kind: EvInit, Line: i, CNOT: -1})
+	}
+	for i := range c.CNOTs {
+		g.cnotOf[i] = add(Event{Kind: EvCNOT, Line: -1, CNOT: i})
+	}
+	for i := range c.Lines {
+		g.measOf[i] = add(Event{Kind: EvMeas, Line: i, CNOT: -1})
+	}
+	edge := func(a, b int) { g.Succ[a] = append(g.Succ[a], b) }
+
+	// Per-line program order: init → first CNOT → ... → last CNOT → meas.
+	last := make([]int, len(c.Lines))
+	for i := range last {
+		last[i] = g.initOf[i]
+	}
+	for i, gate := range c.CNOTs {
+		ev := g.cnotOf[i]
+		edge(last[gate.Control], ev)
+		edge(last[gate.Target], ev)
+		last[gate.Control] = ev
+		last[gate.Target] = ev
+	}
+	for i := range c.Lines {
+		edge(last[i], g.measOf[i])
+	}
+
+	// T-block constraint: Z measurement before the four selective
+	// teleportation measurements (Fig. 8(a,b)).
+	for _, tg := range c.TGroups {
+		for _, tl := range tg.TeleportLines {
+			edge(g.measOf[tg.ZMeasLine], g.measOf[tl])
+		}
+	}
+	// Per-qubit TSL ordering: selective measurements of T gate k precede
+	// those of T gate k+1 (Fig. 8(c,d)).
+	for _, tsl := range c.TSL {
+		for k := 1; k < len(tsl); k++ {
+			prev, cur := c.TGroups[tsl[k-1]], c.TGroups[tsl[k]]
+			for _, a := range prev.TeleportLines {
+				for _, b := range cur.TeleportLines {
+					edge(g.measOf[a], g.measOf[b])
+				}
+			}
+		}
+	}
+	return g
+}
+
+// InitEvent returns the init event index of a line.
+func (g *CausalGraph) InitEvent(line int) int { return g.initOf[line] }
+
+// MeasEvent returns the measurement event index of a line.
+func (g *CausalGraph) MeasEvent(line int) int { return g.measOf[line] }
+
+// CNOTEvent returns the event index of a CNOT.
+func (g *CausalGraph) CNOTEvent(id int) int { return g.cnotOf[id] }
+
+// TopoOrder returns a topological order of the events, or an error if the
+// graph has a cycle (which would mean the circuit's time-ordering
+// constraints are unsatisfiable).
+func (g *CausalGraph) TopoOrder() ([]int, error) {
+	indeg := make([]int, len(g.Events))
+	for _, succ := range g.Succ {
+		for _, b := range succ {
+			indeg[b]++
+		}
+	}
+	var queue []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, b := range g.Succ[v] {
+			indeg[b]--
+			if indeg[b] == 0 {
+				queue = append(queue, b)
+			}
+		}
+	}
+	if len(order) != len(g.Events) {
+		return nil, fmt.Errorf("icm: causal graph has a cycle (%d of %d events ordered)",
+			len(order), len(g.Events))
+	}
+	return order, nil
+}
+
+// Depth returns the longest path length (in events) through the DAG: a
+// lower bound on the number of sequential steps any schedule needs.
+func (g *CausalGraph) Depth() (int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	dist := make([]int, len(g.Events))
+	depth := 0
+	for _, v := range order {
+		for _, b := range g.Succ[v] {
+			if dist[v]+1 > dist[b] {
+				dist[b] = dist[v] + 1
+			}
+			if dist[b]+1 > depth {
+				depth = dist[b] + 1
+			}
+		}
+	}
+	if len(g.Events) > 0 && depth == 0 {
+		depth = 1
+	}
+	return depth, nil
+}
+
+// CheckMeasurementOrder verifies that a given measurement time assignment
+// (per line) satisfies every time-ordered measurement constraint.
+func (g *CausalGraph) CheckMeasurementOrder(timeOf func(line int) int) error {
+	for v, succ := range g.Succ {
+		if g.Events[v].Kind != EvMeas {
+			continue
+		}
+		for _, b := range succ {
+			if g.Events[b].Kind != EvMeas {
+				continue
+			}
+			ta := timeOf(g.Events[v].Line)
+			tb := timeOf(g.Events[b].Line)
+			if ta > tb {
+				return fmt.Errorf("icm: measurement of line %d (t=%d) must precede line %d (t=%d)",
+					g.Events[v].Line, ta, g.Events[b].Line, tb)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package icm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/decompose"
+	"repro/internal/qc"
+)
+
+func causalFor(t testing.TB, c *qc.Circuit) (*Circuit, *CausalGraph) {
+	t.Helper()
+	r, err := decompose.Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := FromDecomposed(r.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic, ic.BuildCausalGraph()
+}
+
+func TestCausalGraphShape(t *testing.T) {
+	c := qc.New("cg", 2)
+	c.Append(qc.CNOT(0, 1))
+	ic, g := causalFor(t, c)
+	// 2 inits + 1 cnot + 2 meas.
+	if len(g.Events) != 2*len(ic.Lines)+len(ic.CNOTs) {
+		t.Fatalf("events: %d", len(g.Events))
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, len(g.Events))
+	for i, v := range order {
+		pos[v] = i
+	}
+	// Init precedes CNOT precedes meas on each line.
+	for line := 0; line < 2; line++ {
+		if pos[g.InitEvent(line)] >= pos[g.CNOTEvent(0)] {
+			t.Errorf("line %d init not before cnot", line)
+		}
+		if pos[g.CNOTEvent(0)] >= pos[g.MeasEvent(line)] {
+			t.Errorf("line %d meas not after cnot", line)
+		}
+	}
+}
+
+func TestCausalGraphTOrdering(t *testing.T) {
+	c := qc.New("tt", 1)
+	c.Append(qc.T(0), qc.T(0))
+	ic, g := causalFor(t, c)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, len(g.Events))
+	for i, v := range order {
+		pos[v] = i
+	}
+	tg0, tg1 := ic.TGroups[0], ic.TGroups[1]
+	// Z measurement before its block's selective measurements.
+	for _, tl := range tg0.TeleportLines {
+		if pos[g.MeasEvent(tg0.ZMeasLine)] >= pos[g.MeasEvent(tl)] {
+			t.Fatal("Z measurement must precede teleport measurements")
+		}
+	}
+	// First block's selective measurements before the second's.
+	for _, a := range tg0.TeleportLines {
+		for _, b := range tg1.TeleportLines {
+			if pos[g.MeasEvent(a)] >= pos[g.MeasEvent(b)] {
+				t.Fatal("T gate 0 measurements must precede T gate 1's")
+			}
+		}
+	}
+}
+
+func TestCausalDepthBounds(t *testing.T) {
+	c := qc.New("depth", 2)
+	c.Append(qc.T(0), qc.CNOT(0, 1), qc.T(1))
+	ic, g := causalFor(t, c)
+	depth, err := g.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, asap := ic.ScheduleASAP()
+	if depth < asap {
+		t.Fatalf("causal depth %d below ASAP CNOT depth %d", depth, asap)
+	}
+}
+
+func TestCheckMeasurementOrder(t *testing.T) {
+	c := qc.New("chk", 1)
+	c.Append(qc.T(0))
+	ic, g := causalFor(t, c)
+	tg := ic.TGroups[0]
+	// Valid: Z measured at 0, everything else later.
+	valid := func(line int) int {
+		if line == tg.ZMeasLine {
+			return 0
+		}
+		return 10
+	}
+	if err := g.CheckMeasurementOrder(valid); err != nil {
+		t.Fatalf("valid order rejected: %v", err)
+	}
+	// Invalid: Z measured after the teleport measurements.
+	invalid := func(line int) int {
+		if line == tg.ZMeasLine {
+			return 99
+		}
+		return 1
+	}
+	if err := g.CheckMeasurementOrder(invalid); err == nil {
+		t.Fatal("inverted order accepted")
+	}
+}
+
+// Property: the causal graph of any generated circuit is acyclic and its
+// topological order respects per-line CNOT program order.
+func TestQuickCausalAcyclic(t *testing.T) {
+	f := func(q uint8, nt uint8, seed int64) bool {
+		spec := qc.BenchmarkSpec{
+			Name:     "fuzz",
+			Qubits:   3 + int(q%8),
+			Toffolis: 1 + int(nt%5),
+			Seed:     seed,
+		}
+		r, err := decompose.Decompose(spec.Generate())
+		if err != nil {
+			return false
+		}
+		ic, err := FromDecomposed(r.Circuit)
+		if err != nil {
+			return false
+		}
+		g := ic.BuildCausalGraph()
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, len(g.Events))
+		for i, v := range order {
+			pos[v] = i
+		}
+		lastCNOT := map[int]int{} // line -> event pos of its latest CNOT
+		for id, gate := range ic.CNOTs {
+			p := pos[g.CNOTEvent(id)]
+			for _, line := range []int{gate.Control, gate.Target} {
+				if prev, ok := lastCNOT[line]; ok && p <= prev {
+					return false
+				}
+				lastCNOT[line] = p
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package icm
+
+import "sort"
+
+// RecycleWires computes a wire-recycling assignment in the spirit of Paler
+// & Wille's causal-graph optimization (Section I-B of the paper): two ICM
+// lines may share one physical wire when their lifetimes — from first to
+// last CNOT in the ASAP schedule — are disjoint with at least one slot of
+// separation (the measurement of the first must strictly precede the
+// initialization of the second).
+//
+// It returns the wire index of every line and the number of wires used, a
+// left-edge greedy coloring of the lifetime interval graph (optimal for
+// interval graphs). Lines never touched by a CNOT share a single parking
+// wire. The assignment is analysis-only: it bounds how far the canonical
+// width could shrink before geometric compression even starts.
+func (c *Circuit) RecycleWires() (wireOf []int, numWires int) {
+	slots, _ := c.ScheduleASAP()
+	type lifetime struct {
+		line, lo, hi int
+	}
+	lives := make([]lifetime, 0, len(c.Lines))
+	first := make([]int, len(c.Lines))
+	last := make([]int, len(c.Lines))
+	for i := range c.Lines {
+		first[i], last[i] = -1, -1
+	}
+	for _, g := range c.CNOTs {
+		s := slots[g.ID]
+		for _, ln := range []int{g.Control, g.Target} {
+			if first[ln] < 0 {
+				first[ln] = s
+			}
+			last[ln] = s
+		}
+	}
+	wireOf = make([]int, len(c.Lines))
+	for i := range wireOf {
+		wireOf[i] = -1
+	}
+	idleWire := -1
+	for i := range c.Lines {
+		if first[i] < 0 {
+			// Untouched line: park all of them on one shared wire.
+			if idleWire < 0 {
+				idleWire = numWires
+				numWires++
+			}
+			wireOf[i] = idleWire
+			continue
+		}
+		lives = append(lives, lifetime{line: i, lo: first[i], hi: last[i]})
+	}
+	sort.Slice(lives, func(a, b int) bool {
+		if lives[a].lo != lives[b].lo {
+			return lives[a].lo < lives[b].lo
+		}
+		return lives[a].line < lives[b].line
+	})
+	// Left-edge: wires ordered by when they free up.
+	type wire struct {
+		id     int
+		freeAt int // next slot this wire can host an initialization
+	}
+	var wires []wire
+	for _, lv := range lives {
+		assigned := false
+		for w := range wires {
+			if wires[w].freeAt <= lv.lo {
+				wireOf[lv.line] = wires[w].id
+				wires[w].freeAt = lv.hi + 2 // one idle slot between tenants
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			id := numWires
+			numWires++
+			wires = append(wires, wire{id: id, freeAt: lv.hi + 2})
+			wireOf[lv.line] = id
+		}
+	}
+	return wireOf, numWires
+}

@@ -1,0 +1,144 @@
+package icm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/decompose"
+	"repro/internal/qc"
+)
+
+func TestRecycleDisjointLifetimes(t *testing.T) {
+	// Line 1 dies (last CNOT slot 0) before line 2 is born (slot 1 is its
+	// first), with line 0 alive across both: 2 wires suffice... but the
+	// separation rule (one idle slot) forbids slot-adjacent reuse, so
+	// lines 1 and 2 need separate wires here.
+	c := &Circuit{Name: "r", TSL: map[int][]int{}}
+	for i := 0; i < 3; i++ {
+		c.newLine(InitZero, MeasZ, "", i)
+	}
+	c.addCNOT(0, 1) // slot 0: lines 0,1
+	c.addCNOT(0, 2) // slot 1: lines 0,2
+	wires, n := c.RecycleWires()
+	if n != 3 {
+		t.Fatalf("wires: %d want 3 (adjacent lifetimes may not share)", n)
+	}
+	if wires[1] == wires[2] {
+		t.Fatal("slot-adjacent lines must not share a wire")
+	}
+}
+
+func TestRecycleWithGap(t *testing.T) {
+	// Line 1's lifetime is {0}, line 3's is {2}: the idle slot between
+	// them allows sharing.
+	c := &Circuit{Name: "g", TSL: map[int][]int{}}
+	for i := 0; i < 4; i++ {
+		c.newLine(InitZero, MeasZ, "", i)
+	}
+	c.addCNOT(0, 1) // slot 0
+	c.addCNOT(0, 2) // slot 1
+	c.addCNOT(0, 3) // slot 2
+	wires, n := c.RecycleWires()
+	if wires[1] != wires[3] {
+		t.Fatalf("lines 1 and 3 should share a wire: %v", wires)
+	}
+	if n != 3 {
+		t.Fatalf("wires: %d want 3", n)
+	}
+}
+
+func TestRecycleIdleLinesShareParking(t *testing.T) {
+	c := &Circuit{Name: "idle", TSL: map[int][]int{}}
+	for i := 0; i < 4; i++ {
+		c.newLine(InitZero, MeasZ, "", i)
+	}
+	c.addCNOT(0, 1)
+	// Lines 2 and 3 are untouched.
+	wires, _ := c.RecycleWires()
+	if wires[2] != wires[3] {
+		t.Fatal("idle lines should share a parking wire")
+	}
+	if wires[2] == wires[0] || wires[2] == wires[1] {
+		t.Fatal("parking wire must not collide with active wires")
+	}
+}
+
+func TestRecycleShrinksBenchmarks(t *testing.T) {
+	// T-block ancillas have short lifetimes; recycling should cut the
+	// wire count well below the line count on real workloads.
+	spec, err := qc.BenchmarkByName("4gt10-v1_81")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := decompose.Decompose(spec.Generate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := FromDecomposed(d.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, n := ic.RecycleWires()
+	if n >= len(ic.Lines)/2 {
+		t.Fatalf("recycling too weak: %d wires for %d lines", n, len(ic.Lines))
+	}
+	t.Logf("%s: %d lines → %d wires (%.0f%%)", spec.Name, len(ic.Lines), n,
+		100*float64(n)/float64(len(ic.Lines)))
+}
+
+// Property: the assignment is a proper coloring — two lines sharing a wire
+// never have overlapping (or slot-adjacent) lifetimes.
+func TestQuickRecycleProper(t *testing.T) {
+	f := func(q uint8, nt uint8, seed int64) bool {
+		spec := qc.BenchmarkSpec{
+			Name:     "fuzz",
+			Qubits:   3 + int(q%8),
+			Toffolis: 1 + int(nt%5),
+			Seed:     seed,
+		}
+		d, err := decompose.Decompose(spec.Generate())
+		if err != nil {
+			return false
+		}
+		ic, err := FromDecomposed(d.Circuit)
+		if err != nil {
+			return false
+		}
+		wires, n := ic.RecycleWires()
+		slots, _ := ic.ScheduleASAP()
+		first := make(map[int]int)
+		last := make(map[int]int)
+		for _, g := range ic.CNOTs {
+			s := slots[g.ID]
+			for _, ln := range []int{g.Control, g.Target} {
+				if _, ok := first[ln]; !ok {
+					first[ln] = s
+				}
+				last[ln] = s
+			}
+		}
+		for a := range ic.Lines {
+			if wires[a] < 0 || wires[a] >= n {
+				return false
+			}
+			fa, ok := first[a]
+			if !ok {
+				continue
+			}
+			for b := a + 1; b < len(ic.Lines); b++ {
+				fb, ok := first[b]
+				if !ok || wires[a] != wires[b] {
+					continue
+				}
+				// Require ≥1 idle slot between tenancies.
+				if fa <= last[b]+1 && fb <= last[a]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBreakdownAccumulates(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(StageBridging, 100*time.Millisecond)
+	b.Add(StagePlacement, 300*time.Millisecond)
+	b.Add(StageBridging, 100*time.Millisecond)
+	if b.Get(StageBridging) != 200*time.Millisecond {
+		t.Fatalf("bridging: %v", b.Get(StageBridging))
+	}
+	if b.Total() != 500*time.Millisecond {
+		t.Fatalf("total: %v", b.Total())
+	}
+	if r := b.Ratio(StageBridging); r < 39.9 || r > 40.1 {
+		t.Fatalf("ratio: %v", r)
+	}
+}
+
+func TestBreakdownTime(t *testing.T) {
+	b := NewBreakdown()
+	b.Time(StageRouting, func() { time.Sleep(time.Millisecond) })
+	if b.Get(StageRouting) <= 0 {
+		t.Fatal("no time charged")
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	b := NewBreakdown()
+	if b.Total() != 0 {
+		t.Fatal("empty total")
+	}
+	if b.Ratio(StagePlacement) != 0 {
+		t.Fatal("empty ratio should be 0, not NaN")
+	}
+	if len(b.Stages()) != 0 {
+		t.Fatal("no stages expected")
+	}
+}
+
+func TestBreakdownStagesOrder(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("x", time.Second)
+	b.Add("a", time.Second)
+	b.Add("x", time.Second)
+	got := b.Stages()
+	if len(got) != 2 || got[0] != "x" || got[1] != "a" {
+		t.Fatalf("stages: %v", got)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(StagePlacement, time.Second)
+	s := b.String()
+	if !strings.Contains(s, StagePlacement) || !strings.Contains(s, "total") {
+		t.Fatalf("string: %q", s)
+	}
+}
+
+func TestDims(t *testing.T) {
+	d := Dims{W: 45, H: 24, D: 23}
+	if d.Volume() != 24840 {
+		t.Fatalf("volume: %d", d.Volume())
+	}
+	if d.String() != "45×24×23=24840" {
+		t.Fatalf("string: %s", d.String())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 4) != 2.5 {
+		t.Fatal("ratio")
+	}
+	if Ratio(10, 0) != 0 {
+		t.Fatal("zero base should give 0")
+	}
+}

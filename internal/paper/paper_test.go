@@ -1,0 +1,68 @@
+package paper
+
+import (
+	"testing"
+
+	"repro/internal/qc"
+)
+
+func TestEightBenchmarks(t *testing.T) {
+	if len(Benchmarks) != 8 {
+		t.Fatalf("benchmarks: %d", len(Benchmarks))
+	}
+	for _, b := range Benchmarks {
+		if _, err := qc.BenchmarkByName(b.Name); err != nil {
+			t.Errorf("%s missing from generator table", b.Name)
+		}
+	}
+}
+
+func TestInternalConsistency(t *testing.T) {
+	for _, b := range Benchmarks {
+		// Table I identities.
+		if b.VolY != 18*b.NumY {
+			t.Errorf("%s: Vol_|Y> %d ≠ 18×%d", b.Name, b.VolY, b.NumY)
+		}
+		if b.VolA != 192*b.NumA {
+			t.Errorf("%s: Vol_|A> %d ≠ 192×%d", b.Name, b.VolA, b.NumA)
+		}
+		if b.NumY != 2*b.NumA {
+			t.Errorf("%s: #|Y> %d ≠ 2×#|A> %d", b.Name, b.NumY, b.NumA)
+		}
+		// Table IV "Ours" dims multiply to the Table II volume.
+		if b.OursW*b.OursH*b.OursD != b.OursVol {
+			t.Errorf("%s: ours dims %d×%d×%d ≠ %d",
+				b.Name, b.OursW, b.OursH, b.OursD, b.OursVol)
+		}
+		// Ordering: canonical > 1D > 2D > ours, and the ablations sit
+		// above ours.
+		if !(b.CanonicalVol > b.Lin1DVol && b.Lin1DVol > b.Lin2DVol && b.Lin2DVol > b.OursVol) {
+			t.Errorf("%s: volume ordering broken", b.Name)
+		}
+		if b.ConferenceVol < b.OursVol || b.WithoutBridgingVol <= b.OursVol {
+			t.Errorf("%s: ablation volumes should exceed ours", b.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, ok := ByName("ham15_107")
+	if !ok || b.QubitsD != 3753 {
+		t.Fatalf("lookup: %+v %v", b, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name found")
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	h := Headline
+	if h.CanonicalRatio < h.Lin1DRatio || h.Lin1DRatio < h.Lin2DRatio {
+		t.Fatal("headline ratios out of order")
+	}
+	// Shares should sum to ~100%.
+	sum := h.BridgingShare + h.PlacementShare + h.RoutingShare + h.OtherShare
+	if sum < 99 || sum > 101 {
+		t.Fatalf("breakdown shares sum to %.2f", sum)
+	}
+}

@@ -1,0 +1,101 @@
+package qc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BenchmarkSpec describes one of the paper's RevLib workloads in terms of
+// its reversible gate mix. The RevLib archive is not redistributable here,
+// so Generate rebuilds a circuit of the published scale: the gate mix is
+// calibrated so that gate decomposition reproduces Table I's derived
+// statistics (#Qubits_d, #CNOTs, #|Y⟩, #|A⟩) — see DESIGN.md for the
+// calibration identities (#|A⟩ = 7·#Toffoli, #Qubits_d ≈ #Qubits_o +
+// 6·#|A⟩, #CNOTs ≈ 8·#|A⟩).
+type BenchmarkSpec struct {
+	Name     string
+	Qubits   int // #Qubits_o
+	Toffolis int
+	CNOTs    int
+	NOTs     int
+	Seed     int64
+}
+
+// Gates returns the total reversible gate count (the paper's "#Gates").
+func (s BenchmarkSpec) Gates() int { return s.Toffolis + s.CNOTs + s.NOTs }
+
+// Benchmarks lists the paper's eight RevLib benchmarks in Table I order.
+// Toffoli counts derive from #|A⟩/7; CNOT/NOT counts fill the published
+// total gate count while matching the published decomposed-CNOT count as
+// closely as the calibration permits.
+var Benchmarks = []BenchmarkSpec{
+	{Name: "4gt10-v1_81", Qubits: 5, Toffolis: 3, CNOTs: 0, NOTs: 3, Seed: 0x4610},
+	{Name: "4gt4-v0_73", Qubits: 5, Toffolis: 6, CNOTs: 5, NOTs: 6, Seed: 0x4440},
+	{Name: "rd84_142", Qubits: 15, Toffolis: 21, CNOTs: 0, NOTs: 7, Seed: 0x8414},
+	{Name: "hwb5_53", Qubits: 5, Toffolis: 31, CNOTs: 0, NOTs: 24, Seed: 0x0553},
+	{Name: "add16_174", Qubits: 49, Toffolis: 32, CNOTs: 0, NOTs: 32, Seed: 0xadd1},
+	{Name: "sym6_145", Qubits: 7, Toffolis: 36, CNOTs: 0, NOTs: 0, Seed: 0x6145},
+	{Name: "cycle17_3_112", Qubits: 20, Toffolis: 45, CNOTs: 0, NOTs: 3, Seed: 0xc173},
+	{Name: "ham15_107", Qubits: 15, Toffolis: 89, CNOTs: 0, NOTs: 43, Seed: 0x1510},
+}
+
+// BenchmarkByName returns the spec with the given name.
+func BenchmarkByName(name string) (BenchmarkSpec, error) {
+	for _, s := range Benchmarks {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return BenchmarkSpec{}, fmt.Errorf("unknown benchmark %q", name)
+}
+
+// Generate builds a deterministic reversible circuit with the spec's gate
+// mix. Gate kinds are interleaved pseudo-randomly (seeded) and operands are
+// drawn uniformly without repetition within a gate, mimicking the control/
+// target diversity of the original RevLib netlists.
+func (s BenchmarkSpec) Generate() *Circuit {
+	rng := rand.New(rand.NewSource(s.Seed))
+	c := New(s.Name, s.Qubits)
+	// Build the multiset of gate kinds, then shuffle for interleaving.
+	kinds := make([]GateKind, 0, s.Gates())
+	for i := 0; i < s.Toffolis; i++ {
+		kinds = append(kinds, GateToffoli)
+	}
+	for i := 0; i < s.CNOTs; i++ {
+		kinds = append(kinds, GateCNOT)
+	}
+	for i := 0; i < s.NOTs; i++ {
+		kinds = append(kinds, GateNOT)
+	}
+	rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+	for _, k := range kinds {
+		switch k {
+		case GateToffoli:
+			q := pickDistinct(rng, s.Qubits, 3)
+			c.Append(Toffoli(q[0], q[1], q[2]))
+		case GateCNOT:
+			q := pickDistinct(rng, s.Qubits, 2)
+			c.Append(CNOT(q[0], q[1]))
+		default:
+			c.Append(NOT(rng.Intn(s.Qubits)))
+		}
+	}
+	return c
+}
+
+// pickDistinct draws k distinct values from [0,n). Requires k ≤ n.
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		panic(fmt.Sprintf("pickDistinct: k=%d > n=%d", k, n))
+	}
+	picked := map[int]bool{}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := rng.Intn(n)
+		if !picked[v] {
+			picked[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

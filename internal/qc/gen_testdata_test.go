@@ -1,0 +1,58 @@
+package qc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenerateTestdata regenerates the .real fixtures when invoked with
+// QC_REGEN=1 (they are committed so the parser tests run offline).
+func TestGenerateTestdata(t *testing.T) {
+	if os.Getenv("QC_REGEN") == "" {
+		t.Skip("set QC_REGEN=1 to regenerate testdata")
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Benchmarks {
+		f, err := os.Create(filepath.Join("testdata", s.Name+".real"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteReal(f, s.Generate()); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestParseRealFixtures loads every committed benchmark fixture and checks
+// it round-trips to the generator's circuit exactly.
+func TestParseRealFixtures(t *testing.T) {
+	for _, s := range Benchmarks {
+		path := filepath.Join("testdata", s.Name+".real")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with QC_REGEN=1)", path, err)
+		}
+		parsed, err := ParseReal(s.Name, f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		want := s.Generate()
+		if parsed.NumQubits() != want.NumQubits() || parsed.NumGates() != want.NumGates() {
+			t.Fatalf("%s: shape %d/%d want %d/%d", s.Name,
+				parsed.NumQubits(), parsed.NumGates(), want.NumQubits(), want.NumGates())
+		}
+		for i := range want.Gates {
+			g1, g2 := parsed.Gates[i], want.Gates[i]
+			if g1.Kind != g2.Kind || g1.String() != g2.String() {
+				t.Fatalf("%s: gate %d differs: %v vs %v", s.Name, i, g1, g2)
+			}
+		}
+	}
+}

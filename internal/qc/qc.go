@@ -1,0 +1,308 @@
+// Package qc defines the front-end quantum/reversible circuit representation
+// consumed by the TQEC compression flow: gate kinds, circuits over named
+// qubit lines, a RevLib ".real" parser and a seeded benchmark generator that
+// reconstructs the paper's RevLib workloads from their published statistics.
+package qc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GateKind enumerates the gate vocabulary understood by the front end.
+// TQEC natively supports {CNOT, P, V, T}; everything else is decomposed by
+// package decompose before entering the ICM conversion.
+type GateKind int
+
+// Supported gate kinds.
+const (
+	// Reversible-logic gates (RevLib vocabulary).
+	GateNOT     GateKind = iota // X on one target
+	GateCNOT                    // controlled NOT
+	GateToffoli                 // doubly-controlled NOT (CCX)
+	GateFredkin                 // controlled SWAP
+	GateSwap                    // SWAP
+	GateMCT                     // multi-controlled Toffoli with ≥3 controls
+
+	// Single-qubit gates of the TQEC universal set and their relatives.
+	GateH    // Hadamard
+	GateP    // phase gate S = diag(1, i)
+	GatePdag // S†
+	GateV    // √X (up to global phase), the paper's V
+	GateVdag // V†
+	GateT    // π/8 gate diag(1, e^{iπ/4})
+	GateTdag // T†
+	GateZ    // Pauli Z
+)
+
+// String returns the RevLib-flavored mnemonic of the gate kind.
+func (k GateKind) String() string {
+	switch k {
+	case GateNOT:
+		return "not"
+	case GateCNOT:
+		return "cnot"
+	case GateToffoli:
+		return "toffoli"
+	case GateFredkin:
+		return "fredkin"
+	case GateSwap:
+		return "swap"
+	case GateMCT:
+		return "mct"
+	case GateH:
+		return "h"
+	case GateP:
+		return "p"
+	case GatePdag:
+		return "p+"
+	case GateV:
+		return "v"
+	case GateVdag:
+		return "v+"
+	case GateT:
+		return "t"
+	case GateTdag:
+		return "t+"
+	case GateZ:
+		return "z"
+	}
+	return fmt.Sprintf("GateKind(%d)", int(k))
+}
+
+// Gate is one gate instance: a kind plus its control and target qubits
+// (indices into the circuit's qubit list).
+type Gate struct {
+	Kind     GateKind
+	Controls []int
+	Targets  []int
+}
+
+// NOT returns an X gate on target t.
+func NOT(t int) Gate { return Gate{Kind: GateNOT, Targets: []int{t}} }
+
+// CNOT returns a CNOT with control c and target t.
+func CNOT(c, t int) Gate { return Gate{Kind: GateCNOT, Controls: []int{c}, Targets: []int{t}} }
+
+// Toffoli returns a CCX with controls c1, c2 and target t.
+func Toffoli(c1, c2, t int) Gate {
+	return Gate{Kind: GateToffoli, Controls: []int{c1, c2}, Targets: []int{t}}
+}
+
+// Fredkin returns a controlled SWAP with control c swapping a and b.
+func Fredkin(c, a, b int) Gate {
+	return Gate{Kind: GateFredkin, Controls: []int{c}, Targets: []int{a, b}}
+}
+
+// Swap returns a SWAP of qubits a and b.
+func Swap(a, b int) Gate { return Gate{Kind: GateSwap, Targets: []int{a, b}} }
+
+// MCT returns a multi-controlled Toffoli.
+func MCT(controls []int, t int) Gate {
+	return Gate{Kind: GateMCT, Controls: append([]int(nil), controls...), Targets: []int{t}}
+}
+
+// H returns a Hadamard on target t.
+func H(t int) Gate { return Gate{Kind: GateH, Targets: []int{t}} }
+
+// P returns a phase (S) gate on target t.
+func P(t int) Gate { return Gate{Kind: GateP, Targets: []int{t}} }
+
+// V returns a V (√X) gate on target t.
+func V(t int) Gate { return Gate{Kind: GateV, Targets: []int{t}} }
+
+// T returns a T (π/8) gate on target t.
+func T(t int) Gate { return Gate{Kind: GateT, Targets: []int{t}} }
+
+// Tdag returns a T† gate on target t.
+func Tdag(t int) Gate { return Gate{Kind: GateTdag, Targets: []int{t}} }
+
+// Qubits returns all qubit indices the gate touches, controls first.
+func (g Gate) Qubits() []int {
+	out := make([]int, 0, len(g.Controls)+len(g.Targets))
+	out = append(out, g.Controls...)
+	out = append(out, g.Targets...)
+	return out
+}
+
+// MaxQubit returns the largest qubit index used by the gate, or -1.
+func (g Gate) MaxQubit() int {
+	m := -1
+	for _, q := range g.Qubits() {
+		if q > m {
+			m = q
+		}
+	}
+	return m
+}
+
+// Validate checks structural sanity: correct operand counts, no duplicate
+// operands, non-negative indices.
+func (g Gate) Validate() error {
+	wantC, wantT := -1, -1
+	switch g.Kind {
+	case GateNOT, GateH, GateP, GatePdag, GateT, GateTdag, GateZ:
+		wantC, wantT = 0, 1
+	case GateV, GateVdag:
+		// RevLib writes controlled-V/V† (quantum realizations of Toffoli
+		// networks); both the plain and singly-controlled forms are legal.
+		if len(g.Controls) > 1 {
+			return fmt.Errorf("%v gate: at most 1 control, got %d", g.Kind, len(g.Controls))
+		}
+		wantC, wantT = len(g.Controls), 1
+	case GateCNOT:
+		wantC, wantT = 1, 1
+	case GateToffoli:
+		wantC, wantT = 2, 1
+	case GateFredkin:
+		wantC, wantT = 1, 2
+	case GateSwap:
+		wantC, wantT = 0, 2
+	case GateMCT:
+		if len(g.Controls) < 3 {
+			return fmt.Errorf("mct gate needs ≥3 controls, got %d", len(g.Controls))
+		}
+		wantC, wantT = len(g.Controls), 1
+	default:
+		return fmt.Errorf("unknown gate kind %v", g.Kind)
+	}
+	if len(g.Controls) != wantC {
+		return fmt.Errorf("%v gate: want %d controls, got %d", g.Kind, wantC, len(g.Controls))
+	}
+	if len(g.Targets) != wantT {
+		return fmt.Errorf("%v gate: want %d targets, got %d", g.Kind, wantT, len(g.Targets))
+	}
+	seen := map[int]bool{}
+	for _, q := range g.Qubits() {
+		if q < 0 {
+			return fmt.Errorf("%v gate: negative qubit index %d", g.Kind, q)
+		}
+		if seen[q] {
+			return fmt.Errorf("%v gate: duplicate qubit %d", g.Kind, q)
+		}
+		seen[q] = true
+	}
+	return nil
+}
+
+// String renders the gate RevLib-style, e.g. "t3 a b c" for a Toffoli.
+func (g Gate) String() string {
+	var b strings.Builder
+	switch g.Kind {
+	case GateNOT, GateCNOT, GateToffoli, GateMCT:
+		fmt.Fprintf(&b, "t%d", len(g.Controls)+1)
+	case GateFredkin, GateSwap:
+		fmt.Fprintf(&b, "f%d", len(g.Controls)+2)
+	default:
+		b.WriteString(g.Kind.String())
+	}
+	for _, q := range g.Qubits() {
+		fmt.Fprintf(&b, " q%d", q)
+	}
+	return b.String()
+}
+
+// Circuit is an ordered gate list over a set of named qubits.
+type Circuit struct {
+	Name   string
+	Qubits []string
+	Gates  []Gate
+}
+
+// New returns an empty circuit with n anonymous qubits q0..q(n-1).
+func New(name string, n int) *Circuit {
+	c := &Circuit{Name: name}
+	for i := 0; i < n; i++ {
+		c.Qubits = append(c.Qubits, fmt.Sprintf("q%d", i))
+	}
+	return c
+}
+
+// NumQubits returns the number of declared qubits.
+func (c *Circuit) NumQubits() int { return len(c.Qubits) }
+
+// NumGates returns the number of gates.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// Append adds gates to the circuit.
+func (c *Circuit) Append(gates ...Gate) { c.Gates = append(c.Gates, gates...) }
+
+// Validate checks every gate and that all indices are within range.
+func (c *Circuit) Validate() error {
+	for i, g := range c.Gates {
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("gate %d: %w", i, err)
+		}
+		if g.MaxQubit() >= len(c.Qubits) {
+			return fmt.Errorf("gate %d (%v): qubit %d out of range (circuit has %d)",
+				i, g, g.MaxQubit(), len(c.Qubits))
+		}
+	}
+	return nil
+}
+
+// CountKind returns how many gates of kind k the circuit contains.
+func (c *Circuit) CountKind(k GateKind) int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the circuit depth under the usual parallel model: gates
+// touching disjoint qubit sets may share a layer; gates sharing a qubit
+// serialize in program order.
+func (c *Circuit) Depth() int {
+	ready := make([]int, len(c.Qubits))
+	depth := 0
+	for _, g := range c.Gates {
+		layer := 0
+		for _, q := range g.Qubits() {
+			if ready[q] > layer {
+				layer = ready[q]
+			}
+		}
+		for _, q := range g.Qubits() {
+			ready[q] = layer + 1
+		}
+		if layer+1 > depth {
+			depth = layer + 1
+		}
+	}
+	return depth
+}
+
+// Histogram returns the gate count per kind.
+func (c *Circuit) Histogram() map[GateKind]int {
+	h := map[GateKind]int{}
+	for _, g := range c.Gates {
+		h[g.Kind]++
+	}
+	return h
+}
+
+// TCount returns the number of T/T† gates — the standard cost metric for
+// fault-tolerant circuits (each consumes one distilled |A⟩).
+func (c *Circuit) TCount() int {
+	return c.CountKind(GateT) + c.CountKind(GateTdag)
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{
+		Name:   c.Name,
+		Qubits: append([]string(nil), c.Qubits...),
+		Gates:  make([]Gate, len(c.Gates)),
+	}
+	for i, g := range c.Gates {
+		out.Gates[i] = Gate{
+			Kind:     g.Kind,
+			Controls: append([]int(nil), g.Controls...),
+			Targets:  append([]int(nil), g.Targets...),
+		}
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package route
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/qc"
+)
+
+// TestRouteProbe (enabled via ROUTE_PROBE=1) times routing alone on rd84.
+func TestRouteProbe(t *testing.T) {
+	if os.Getenv("ROUTE_PROBE") == "" {
+		t.Skip("set ROUTE_PROBE=1")
+	}
+	spec, err := qc.BenchmarkByName("rd84_142")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := placed(t, spec.Generate(), true, 0)
+	start := time.Now()
+	res, err := Run(pl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("routing %.1fs: %d/%d routed, first pass %d, %d rip-ups, %d iterations, failed %d",
+		time.Since(start).Seconds(), len(res.Routes), len(pl.Nets),
+		res.FirstPassRouted, res.RippedUp, res.Iterations, len(res.Failed))
+}

@@ -1,0 +1,660 @@
+// Package route implements the paper's dual-defect net routing (Section
+// III-D): iterative A* maze routing inside bounded search regions, a
+// negotiation-based rip-up-and-reroute scheme with a history map
+// (PathFinder-style), an R-tree obstacle index for module bodies and
+// distillation boxes, and friend-net-aware targets — a net sharing a pin
+// with an already routed net may terminate anywhere on the routed friend's
+// path instead of at the pin, a topological deformation that preserves the
+// braiding relationship (Fig. 19).
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/bridge"
+	"repro/internal/geom"
+	"repro/internal/place"
+	"repro/internal/rtree"
+)
+
+// Options configures the router.
+type Options struct {
+	// MaxIterations bounds the rip-up-and-reroute rounds after the first
+	// pass.
+	MaxIterations int
+	// InitialMargin expands each net's initial search region (the
+	// bounding box of its two pins) on every side.
+	InitialMargin int
+	// ExpandStep widens a failed net's region each retry.
+	ExpandStep int
+	// HistoryWeight scales the congestion history cost.
+	HistoryWeight float64
+	// FriendNets toggles friend-net-aware targets (disable for the
+	// ablation: without bridging there are no shared pins anyway).
+	FriendNets bool
+	// MaxExpansions caps A* node expansions per attempt (safety valve).
+	MaxExpansions int
+}
+
+// DefaultOptions returns the standard configuration. The expansion and
+// rip-up bounds are sized so hopeless nets fail fast instead of thrashing
+// congested regions.
+func DefaultOptions() Options {
+	return Options{
+		MaxIterations: 5,
+		InitialMargin: 3,
+		ExpandStep:    4,
+		HistoryWeight: 1.5,
+		FriendNets:    true,
+		MaxExpansions: 60000,
+	}
+}
+
+// Result is the routing outcome.
+type Result struct {
+	// Routes maps net ID to its routed path (endpoints inclusive).
+	Routes map[int]geom.Path
+	// Failed lists net IDs that could not be routed.
+	Failed []int
+	// FirstPassRouted counts nets routed in the first iteration
+	// (the paper reports 85-95%).
+	FirstPassRouted int
+	// Iterations is the number of routing rounds performed.
+	Iterations int
+	// RippedUp counts rip-up events.
+	RippedUp int
+	// HistoryCells counts cells that accumulated congestion history and
+	// MaxHistory is the largest accumulated charge — both zero when the
+	// first pass routed everything.
+	HistoryCells int
+	MaxHistory   float64
+	// Bounds is the bounding box of bodies, boxes and routes.
+	Bounds geom.Box
+}
+
+// WireCells returns the total number of cells used by routed nets.
+func (r *Result) WireCells() int {
+	n := 0
+	for _, p := range r.Routes {
+		n += len(p)
+	}
+	return n
+}
+
+type router struct {
+	p    *place.Placement
+	nets []bridge.Net
+	opts Options
+
+	static *rtree.Tree // module bodies and distillation boxes
+	// staticCells rasterizes the static obstacles for O(1) per-cell
+	// legality checks in the A* inner loop (the R-tree serves window
+	// queries and bounds).
+	staticCells map[geom.Point]bool
+
+	pinCell map[int]geom.Point // pin ID -> cell
+	cellPin map[geom.Point]int // reverse (pins have unique cells)
+
+	// netAt records which net occupies a cell; a cell is recorded for its
+	// first owner only (friend endpoints may coincide).
+	netAt  map[geom.Point]int
+	routes map[int]geom.Path
+	// routeBounds caches each routed path's bounding box so rip-up
+	// victim scans can skip distant nets cheaply.
+	routeBounds map[int]geom.Box
+
+	// friends[pin] lists net IDs sharing the pin.
+	friends map[int][]int
+
+	history map[geom.Point]float64
+
+	// world clamps all search regions.
+	world geom.Box
+
+	result *Result
+}
+
+// Run routes all nets of the placement.
+func Run(p *place.Placement, opts Options) (*Result, error) {
+	if opts.MaxIterations < 0 {
+		return nil, fmt.Errorf("route: negative iterations")
+	}
+	if opts.MaxExpansions <= 0 {
+		opts.MaxExpansions = 200000
+	}
+	r := &router{
+		p:           p,
+		nets:        p.Nets,
+		opts:        opts,
+		static:      rtree.New(),
+		staticCells: map[geom.Point]bool{},
+		pinCell:     map[int]geom.Point{},
+		cellPin:     map[geom.Point]int{},
+		netAt:       map[geom.Point]int{},
+		routes:      map[int]geom.Path{},
+		routeBounds: map[int]geom.Box{},
+		friends:     map[int][]int{},
+		history:     map[geom.Point]float64{},
+		result:      &Result{Routes: map[int]geom.Path{}},
+	}
+	if err := r.build(); err != nil {
+		return nil, err
+	}
+	r.route()
+	r.finish()
+	return r.result, nil
+}
+
+// build populates obstacles, pin cells and friend groups.
+func (r *router) build() error {
+	cl := r.p.Clust
+	rasterize := func(b geom.Box) {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			for y := b.Min.Y; y < b.Max.Y; y++ {
+				for z := b.Min.Z; z < b.Max.Z; z++ {
+					r.staticCells[geom.Pt(x, y, z)] = true
+				}
+			}
+		}
+	}
+	for m := range cl.NL.Modules {
+		b := r.p.ModuleBox(m)
+		r.static.Insert(b, -1)
+		rasterize(b)
+	}
+	for _, b := range r.p.BoxObstacles() {
+		r.static.Insert(b, -1)
+		rasterize(b)
+	}
+	for _, n := range r.nets {
+		for _, pid := range []int{n.PinA, n.PinB} {
+			if _, ok := r.pinCell[pid]; ok {
+				continue
+			}
+			pos, err := r.p.PinPos(pid)
+			if err != nil {
+				return fmt.Errorf("route: net %d: %w", n.ID, err)
+			}
+			pos, err = r.homePin(pid, pos)
+			if err != nil {
+				return fmt.Errorf("route: net %d: %w", n.ID, err)
+			}
+			r.pinCell[pid] = pos
+			r.cellPin[pos] = pid
+		}
+		r.friends[n.PinA] = append(r.friends[n.PinA], n.ID)
+		r.friends[n.PinB] = append(r.friends[n.PinB], n.ID)
+	}
+	// The routable world: everything placed, expanded generously so
+	// detours around the hull remain possible.
+	bounds := r.p.Bounds()
+	for _, c := range r.pinCell {
+		bounds = bounds.UnionPoint(c)
+	}
+	r.world = bounds.Expand(6 + 2*r.opts.MaxIterations*r.opts.ExpandStep)
+	return nil
+}
+
+// homePin resolves pin-cell collisions: with the shared inter-tier routing
+// plane, the natural pin cell of one module can coincide with a facing
+// pin of the adjacent tier or sit inside an obstacle. The dual segment may
+// exit its primal ring anywhere along the opening, so the pin is rehomed
+// to the nearest free cell in the same plane above/below its module body.
+func (r *router) homePin(pid int, pos geom.Point) (geom.Point, error) {
+	free := func(c geom.Point) bool {
+		if r.staticCells[c] {
+			return false
+		}
+		_, taken := r.cellPin[c]
+		return !taken
+	}
+	if free(pos) {
+		return pos, nil
+	}
+	pin := r.p.Clust.NL.Pins[pid]
+	m := r.p.Clust.NL.Segments[pin.Segment].Module
+	mb := r.p.ModuleBox(m)
+	// Search the pin plane over the module footprint, nearest first.
+	type cand struct {
+		c geom.Point
+		d int
+	}
+	var cands []cand
+	for x := mb.Min.X; x < mb.Max.X; x++ {
+		for y := mb.Min.Y; y < mb.Max.Y; y++ {
+			c := geom.Pt(x, y, pos.Z)
+			if free(c) {
+				cands = append(cands, cand{c: c, d: c.Manhattan(pos)})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return pos, fmt.Errorf("pin %d: no free cell in plane z=%d over module %d", pid, pos.Z, m)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		a, b := cands[i].c, cands[j].c
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
+	return cands[0].c, nil
+}
+
+// route performs the iterative routing with rip-up and reroute.
+func (r *router) route() {
+	// First iteration: all nets, sorted by non-decreasing Manhattan
+	// distance.
+	order := make([]int, len(r.nets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return r.netDist(r.nets[order[i]]) < r.netDist(r.nets[order[j]])
+	})
+
+	margin := make([]int, len(r.nets))
+	for i := range margin {
+		margin[i] = r.opts.InitialMargin
+	}
+
+	var failed []int
+	for _, idx := range order {
+		if r.tryRoute(r.nets[idx], margin[idx]) {
+			r.result.FirstPassRouted++
+		} else {
+			failed = append(failed, idx)
+		}
+	}
+	r.result.Iterations = 1
+
+	// Negotiation bounds: a net is retried at most MaxIterations times,
+	// and the total rip-up budget is proportional to the netlist size —
+	// without these, a handful of genuinely unroutable nets can thrash
+	// the whole region indefinitely.
+	attempts := make([]int, len(r.nets))
+	ripBudget := 3 * len(r.nets)
+	var abandoned []int
+	for iter := 0; iter < r.opts.MaxIterations && len(failed) > 0; iter++ {
+		r.result.Iterations++
+		var still []int
+		for _, idx := range failed {
+			if attempts[idx] >= r.opts.MaxIterations {
+				abandoned = append(abandoned, idx)
+				continue
+			}
+			attempts[idx]++
+			margin[idx] += r.opts.ExpandStep
+			n := r.nets[idx]
+			if r.tryRoute(n, margin[idx]) {
+				continue
+			}
+			if r.result.RippedUp >= ripBudget {
+				still = append(still, idx)
+				continue
+			}
+			// Negotiate: first rip up only the nets hugging the pins
+			// (the usual blockage), then everything in the search
+			// region; history charges accumulate on ripped cells.
+			ripped := r.ripUpRegion(r.searchRegion(n, 1), n.ID)
+			if !r.tryRoute(n, margin[idx]) {
+				ripped = append(ripped, r.ripUpRegion(r.searchRegion(n, margin[idx]), n.ID)...)
+			}
+			if r.tryRoute(n, margin[idx]) {
+				// Re-route the victims immediately (they keep their
+				// original margins).
+				for _, v := range ripped {
+					if !r.tryRoute(r.nets[v], margin[v]+r.opts.ExpandStep) {
+						still = append(still, v)
+					}
+				}
+				continue
+			}
+			// Restore victims and give up this round.
+			for _, v := range ripped {
+				if !r.tryRoute(r.nets[v], margin[v]) {
+					still = append(still, v)
+				}
+			}
+			still = append(still, idx)
+		}
+		failed = dedupInts(still)
+	}
+	failed = append(failed, abandoned...)
+	for _, idx := range dedupInts(failed) {
+		if _, routed := r.routes[r.nets[idx].ID]; !routed {
+			r.result.Failed = append(r.result.Failed, r.nets[idx].ID)
+		}
+	}
+}
+
+func dedupInts(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (r *router) netDist(n bridge.Net) int {
+	return r.pinCell[n.PinA].Manhattan(r.pinCell[n.PinB])
+}
+
+func (r *router) searchRegion(n bridge.Net, margin int) geom.Box {
+	b := geom.CellBox(r.pinCell[n.PinA]).UnionPoint(r.pinCell[n.PinB]).Expand(margin)
+	return b.Intersect(r.world)
+}
+
+// ripUpRegion removes routed nets whose cells intersect the region,
+// charging congestion history, and returns the victims' net indices.
+func (r *router) ripUpRegion(region geom.Box, exceptNet int) []int {
+	victims := map[int]bool{}
+	for id, path := range r.routes {
+		if id == exceptNet || !r.routeBounds[id].Intersects(region) {
+			continue
+		}
+		for _, c := range path {
+			if region.Contains(c) {
+				victims[id] = true
+				break
+			}
+		}
+	}
+	var out []int
+	for id := range victims {
+		for _, c := range r.routes[id] {
+			r.history[c] += 1.0
+			if r.netAt[c] == id {
+				delete(r.netAt, c)
+			}
+		}
+		delete(r.routes, id)
+		delete(r.routeBounds, id)
+		r.result.RippedUp++
+		// net IDs equal their index in r.nets (bridge assigns them so).
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// endpointSets returns the start and target cell sets for a net, including
+// friend-net path cells when enabled.
+func (r *router) endpointSets(n bridge.Net) (starts, targets map[geom.Point]bool) {
+	starts = map[geom.Point]bool{r.pinCell[n.PinA]: true}
+	targets = map[geom.Point]bool{r.pinCell[n.PinB]: true}
+	if !r.opts.FriendNets {
+		return starts, targets
+	}
+	add := func(set map[geom.Point]bool, pin int) {
+		for _, fid := range r.friends[pin] {
+			if fid == n.ID {
+				continue
+			}
+			for _, c := range r.routes[fid] {
+				set[c] = true
+			}
+		}
+	}
+	add(starts, n.PinA)
+	add(targets, n.PinB)
+	return starts, targets
+}
+
+// tryRoute attempts to route one net within its current search region.
+func (r *router) tryRoute(n bridge.Net, margin int) bool {
+	if _, done := r.routes[n.ID]; done {
+		return true
+	}
+	starts, targets := r.endpointSets(n)
+	// Degenerate: a start cell that is already a target (friend paths
+	// touching) routes with a single-cell path.
+	for c := range starts {
+		if targets[c] {
+			r.commit(n, geom.Path{c})
+			return true
+		}
+	}
+	region := r.searchRegion(n, margin)
+	// Region must cover all explicit endpoints; friend cells outside are
+	// simply unusable this attempt.
+	path := r.astar(n, starts, targets, region)
+	if path == nil {
+		return false
+	}
+	r.commit(n, path)
+	return true
+}
+
+func (r *router) commit(n bridge.Net, path geom.Path) {
+	r.routes[n.ID] = path
+	r.routeBounds[n.ID] = path.Bounds()
+	for _, c := range path {
+		if _, occ := r.netAt[c]; !occ {
+			r.netAt[c] = n.ID
+		}
+	}
+}
+
+// blocked reports whether net n may not occupy cell c.
+func (r *router) blocked(n bridge.Net, c geom.Point) bool {
+	if owner, occ := r.netAt[c]; occ && owner != n.ID {
+		return true
+	}
+	if pid, isPin := r.cellPin[c]; isPin && pid != n.PinA && pid != n.PinB {
+		return true // foreign pin access cell
+	}
+	return r.staticCells[c]
+}
+
+// pqItem is an A* frontier entry.
+type pqItem struct {
+	cell geom.Point
+	f, g float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	// Deterministic ordering: break f ties by g, then by cell coordinates,
+	// so identical inputs route identically across runs.
+	if q[i].f != q[j].f {
+		return q[i].f < q[j].f
+	}
+	if q[i].g != q[j].g {
+		return q[i].g < q[j].g
+	}
+	a, b := q[i].cell, q[j].cell
+	if a.Z != b.Z {
+		return a.Z < b.Z
+	}
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)         { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any           { it := (*q)[len(*q)-1]; *q = (*q)[:len(*q)-1]; return it }
+func (q *pq) PushItem(it pqItem) { heap.Push(q, it) }
+
+// astar searches a cheapest path from any start to any target within the
+// region. The heuristic is the Manhattan distance to the targets' bounding
+// box (admissible for a multi-target search).
+func (r *router) astar(n bridge.Net, starts, targets map[geom.Point]bool, region geom.Box) geom.Path {
+	var tbox geom.Box
+	for c := range targets {
+		tbox = tbox.UnionPoint(c)
+	}
+	h := func(c geom.Point) float64 {
+		d := 0
+		if c.X < tbox.Min.X {
+			d += tbox.Min.X - c.X
+		} else if c.X >= tbox.Max.X {
+			d += c.X - (tbox.Max.X - 1)
+		}
+		if c.Y < tbox.Min.Y {
+			d += tbox.Min.Y - c.Y
+		} else if c.Y >= tbox.Max.Y {
+			d += c.Y - (tbox.Max.Y - 1)
+		}
+		if c.Z < tbox.Min.Z {
+			d += tbox.Min.Z - c.Z
+		} else if c.Z >= tbox.Max.Z {
+			d += c.Z - (tbox.Max.Z - 1)
+		}
+		return float64(d)
+	}
+
+	// A region can never yield more useful expansions than it has cells.
+	maxExp := r.opts.MaxExpansions
+	if v := region.Volume(); v < maxExp {
+		maxExp = v
+	}
+
+	open := &pq{}
+	gScore := map[geom.Point]float64{}
+	parent := map[geom.Point]geom.Point{}
+	inPath := map[geom.Point]bool{}
+	startCells := make([]geom.Point, 0, len(starts))
+	for c := range starts {
+		startCells = append(startCells, c)
+	}
+	sort.Slice(startCells, func(i, j int) bool {
+		a, b := startCells[i], startCells[j]
+		if a.Z != b.Z {
+			return a.Z < b.Z
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	for _, c := range startCells {
+		if !region.Contains(c) {
+			continue
+		}
+		gScore[c] = 0
+		open.PushItem(pqItem{cell: c, g: 0, f: h(c)})
+	}
+	expansions := 0
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(pqItem)
+		if cur.g > gScore[cur.cell] {
+			continue // stale entry
+		}
+		if targets[cur.cell] {
+			// Reconstruct.
+			var path geom.Path
+			c := cur.cell
+			for {
+				path = append(path, c)
+				p, ok := parent[c]
+				if !ok {
+					break
+				}
+				c = p
+			}
+			return path.Reverse()
+		}
+		expansions++
+		if expansions > maxExp {
+			return nil
+		}
+		for _, d := range geom.Dirs6 {
+			next := cur.cell.Step(d)
+			if !region.Contains(next) || inPath[next] {
+				continue
+			}
+			// Targets are enterable even when occupied by a friend path.
+			if !targets[next] && r.blocked(n, next) {
+				continue
+			}
+			ng := cur.g + 1 + r.opts.HistoryWeight*r.history[next]
+			if old, seen := gScore[next]; seen && ng >= old {
+				continue
+			}
+			gScore[next] = ng
+			parent[next] = cur.cell
+			open.PushItem(pqItem{cell: next, g: ng, f: ng + h(next)})
+		}
+	}
+	return nil
+}
+
+// finish records routes and computes the final bounds.
+func (r *router) finish() {
+	for _, h := range r.history {
+		r.result.HistoryCells++
+		if h > r.result.MaxHistory {
+			r.result.MaxHistory = h
+		}
+	}
+	b := r.p.Bounds()
+	for id, path := range r.routes {
+		r.result.Routes[id] = path
+		b = b.Union(path.Bounds())
+	}
+	for _, c := range r.pinCell {
+		b = b.UnionPoint(c)
+	}
+	r.result.Bounds = b
+}
+
+// Verify checks that every routed path is connected, collision-free
+// against module bodies/boxes, and does not overlap other nets except at
+// shared friend cells (path endpoints).
+func Verify(p *place.Placement, res *Result) error {
+	static := rtree.New()
+	for m := range p.Clust.NL.Modules {
+		static.Insert(p.ModuleBox(m), -1)
+	}
+	for _, b := range p.BoxObstacles() {
+		static.Insert(b, -1)
+	}
+	type use struct {
+		id  int
+		mid bool
+	}
+	uses := map[geom.Point][]use{}
+	for id, path := range res.Routes {
+		if len(path) == 0 {
+			return fmt.Errorf("route: net %d has empty path", id)
+		}
+		if !path.Valid() {
+			return fmt.Errorf("route: net %d path disconnected", id)
+		}
+		for i, c := range path {
+			if static.Intersects(geom.CellBox(c)) {
+				return fmt.Errorf("route: net %d cell %v inside an obstacle", id, c)
+			}
+			uses[c] = append(uses[c], use{id: id, mid: i != 0 && i != len(path)-1})
+		}
+	}
+	// A cell may be shared only under the friend-net rule: at most one of
+	// the sharing nets passes through it mid-path; the others terminate
+	// there (ending on a friend's routed path is a valid topological
+	// deformation).
+	for c, us := range uses {
+		mids := 0
+		for _, u := range us {
+			if u.mid {
+				mids++
+			}
+		}
+		if mids > 1 {
+			return fmt.Errorf("route: %d nets overlap mid-path at %v", mids, c)
+		}
+	}
+	return nil
+}

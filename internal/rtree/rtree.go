@@ -1,0 +1,411 @@
+// Package rtree implements a 3D R-tree spatial index over integer boxes.
+//
+// The router uses it to maintain the set of routing obstacles (module
+// bodies, distillation boxes, routed net cells) and answer window queries
+// in O(log n) on average, replacing the Boost.Geometry R-tree used by the
+// paper's C++ implementation.
+//
+// The implementation follows Guttman's original R-tree with the quadratic
+// split heuristic. Entries are (geom.Box, ID) pairs; deletion is by exact
+// box + ID match or by ID sweep.
+package rtree
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Entry is one indexed item: a box and its caller-assigned identifier.
+type Entry struct {
+	Box geom.Box
+	ID  int
+}
+
+const (
+	maxEntries = 8
+	minEntries = maxEntries / 2
+)
+
+type node struct {
+	parent   *node
+	leaf     bool
+	bounds   geom.Box
+	entries  []Entry // leaf payload
+	children []*node // internal children
+}
+
+// Tree is a 3D R-tree. The zero value is not usable; call New.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Bounds returns the bounding box of all stored entries.
+func (t *Tree) Bounds() geom.Box { return t.root.bounds }
+
+// Insert adds an entry to the index. Duplicate (box, id) pairs are allowed
+// and will be returned multiple times by searches.
+func (t *Tree) Insert(b geom.Box, id int) {
+	leaf := chooseLeaf(t.root, b)
+	leaf.entries = append(leaf.entries, Entry{Box: b, ID: id})
+	t.size++
+	t.fixUpward(leaf)
+}
+
+// fixUpward recomputes bounds from n to the root, splitting overfull nodes.
+func (t *Tree) fixUpward(n *node) {
+	for n != nil {
+		n.recomputeBounds()
+		if n.overfull() {
+			t.split(n)
+			// split re-handles propagation from the parent.
+			return
+		}
+		n = n.parent
+	}
+}
+
+func (n *node) overfull() bool {
+	if n.leaf {
+		return len(n.entries) > maxEntries
+	}
+	return len(n.children) > maxEntries
+}
+
+func chooseLeaf(n *node, b geom.Box) *node {
+	for !n.leaf {
+		best := n.children[0]
+		bestGrowth := math.MaxFloat64
+		bestVol := math.MaxFloat64
+		for _, c := range n.children {
+			u := c.bounds.Union(b)
+			growth := float64(u.Volume() - c.bounds.Volume())
+			vol := float64(c.bounds.Volume())
+			if growth < bestGrowth || (growth == bestGrowth && vol < bestVol) {
+				best, bestGrowth, bestVol = c, growth, vol
+			}
+		}
+		n = best
+	}
+	return n
+}
+
+func (n *node) recomputeBounds() {
+	var b geom.Box
+	if n.leaf {
+		for _, e := range n.entries {
+			b = b.Union(e.Box)
+		}
+	} else {
+		for _, c := range n.children {
+			b = b.Union(c.bounds)
+		}
+	}
+	n.bounds = b
+}
+
+// split divides an overfull node in two and propagates upward.
+func (t *Tree) split(n *node) {
+	left, right := quadraticSplit(n)
+	parent := n.parent
+	if parent == nil {
+		// Root split: grow the tree.
+		t.root = &node{leaf: false, children: []*node{left, right}}
+		left.parent, right.parent = t.root, t.root
+		t.root.recomputeBounds()
+		return
+	}
+	for i, c := range parent.children {
+		if c == n {
+			parent.children[i] = left
+			break
+		}
+	}
+	parent.children = append(parent.children, right)
+	left.parent, right.parent = parent, parent
+	t.fixUpward(parent)
+}
+
+// quadraticSplit partitions an overfull node into two fresh nodes.
+func quadraticSplit(n *node) (*node, *node) {
+	if n.leaf {
+		boxes := make([]geom.Box, len(n.entries))
+		for i, e := range n.entries {
+			boxes[i] = e.Box
+		}
+		g1, g2 := quadraticPartition(boxes)
+		a := &node{leaf: true}
+		b := &node{leaf: true}
+		for _, i := range g1 {
+			a.entries = append(a.entries, n.entries[i])
+		}
+		for _, i := range g2 {
+			b.entries = append(b.entries, n.entries[i])
+		}
+		a.recomputeBounds()
+		b.recomputeBounds()
+		return a, b
+	}
+	boxes := make([]geom.Box, len(n.children))
+	for i, c := range n.children {
+		boxes[i] = c.bounds
+	}
+	g1, g2 := quadraticPartition(boxes)
+	a := &node{leaf: false}
+	b := &node{leaf: false}
+	for _, i := range g1 {
+		n.children[i].parent = a
+		a.children = append(a.children, n.children[i])
+	}
+	for _, i := range g2 {
+		n.children[i].parent = b
+		b.children = append(b.children, n.children[i])
+	}
+	a.recomputeBounds()
+	b.recomputeBounds()
+	return a, b
+}
+
+// quadraticPartition returns two index groups per Guttman's quadratic split.
+func quadraticPartition(boxes []geom.Box) (g1, g2 []int) {
+	n := len(boxes)
+	// Pick the pair wasting the most volume as seeds.
+	s1, s2 := 0, 1
+	worst := math.MinInt64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			u := boxes[i].Union(boxes[j])
+			d := u.Volume() - boxes[i].Volume() - boxes[j].Volume()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	g1 = []int{s1}
+	g2 = []int{s2}
+	b1 := boxes[s1]
+	b2 := boxes[s2]
+	assigned := make([]bool, n)
+	assigned[s1], assigned[s2] = true, true
+	remaining := n - 2
+	for remaining > 0 {
+		// Force-assign when one group must take everything left to
+		// reach the minimum fill.
+		if len(g1)+remaining == minEntries {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					g1 = append(g1, i)
+					assigned[i] = true
+				}
+			}
+			return g1, g2
+		}
+		if len(g2)+remaining == minEntries {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					g2 = append(g2, i)
+					assigned[i] = true
+				}
+			}
+			return g1, g2
+		}
+		// Pick the unassigned entry with the largest preference gap.
+		pick, pickDiff, pickTo1 := -1, -1, true
+		for i := 0; i < n; i++ {
+			if assigned[i] {
+				continue
+			}
+			d1 := b1.Union(boxes[i]).Volume() - b1.Volume()
+			d2 := b2.Union(boxes[i]).Volume() - b2.Volume()
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > pickDiff {
+				pick, pickDiff, pickTo1 = i, diff, d1 < d2
+			}
+		}
+		if pickTo1 {
+			g1 = append(g1, pick)
+			b1 = b1.Union(boxes[pick])
+		} else {
+			g2 = append(g2, pick)
+			b2 = b2.Union(boxes[pick])
+		}
+		assigned[pick] = true
+		remaining--
+	}
+	return g1, g2
+}
+
+// Search appends to dst every entry whose box intersects the query window
+// and returns the extended slice.
+func (t *Tree) Search(window geom.Box, dst []Entry) []Entry {
+	return searchNode(t.root, window, dst)
+}
+
+func searchNode(n *node, w geom.Box, dst []Entry) []Entry {
+	if !n.bounds.Intersects(w) {
+		return dst
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.Box.Intersects(w) {
+				dst = append(dst, e)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = searchNode(c, w, dst)
+	}
+	return dst
+}
+
+// Intersects reports whether any stored entry intersects the window.
+func (t *Tree) Intersects(window geom.Box) bool {
+	return intersectsNode(t.root, window)
+}
+
+func intersectsNode(n *node, w geom.Box) bool {
+	if !n.bounds.Intersects(w) {
+		return false
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.Box.Intersects(w) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range n.children {
+		if intersectsNode(c, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectsExcept reports whether any entry intersecting the window has an
+// ID not contained in skip. It lets the router ignore a net's own cells and
+// its friend nets' cells during legality checks.
+func (t *Tree) IntersectsExcept(window geom.Box, skip map[int]bool) bool {
+	return intersectsExceptNode(t.root, window, skip)
+}
+
+func intersectsExceptNode(n *node, w geom.Box, skip map[int]bool) bool {
+	if !n.bounds.Intersects(w) {
+		return false
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.Box.Intersects(w) && !skip[e.ID] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range n.children {
+		if intersectsExceptNode(c, w, skip) {
+			return true
+		}
+	}
+	return false
+}
+
+// Delete removes one entry exactly matching (b, id) and returns whether one
+// was removed. Underfull nodes are tolerated (no re-insertion pass); search
+// correctness is unaffected, and rip-up deletes are rare relative to
+// searches, so the simpler scheme is a deliberate trade-off.
+func (t *Tree) Delete(b geom.Box, id int) bool {
+	leaf := findLeaf(t.root, b, id)
+	if leaf == nil {
+		return false
+	}
+	for i, e := range leaf.entries {
+		if e.Box == b && e.ID == id {
+			leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
+			t.size--
+			for n := leaf; n != nil; n = n.parent {
+				n.recomputeBounds()
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func findLeaf(n *node, b geom.Box, id int) *node {
+	if !n.bounds.ContainsBox(b) {
+		return nil
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.Box == b && e.ID == id {
+				return n
+			}
+		}
+		return nil
+	}
+	for _, c := range n.children {
+		if f := findLeaf(c, b, id); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// DeleteAll removes every entry with the given ID and returns the number
+// removed. Used when ripping up a routed net.
+func (t *Tree) DeleteAll(id int) int {
+	removed := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			kept := n.entries[:0]
+			for _, e := range n.entries {
+				if e.ID == id {
+					removed++
+				} else {
+					kept = append(kept, e)
+				}
+			}
+			n.entries = kept
+			n.recomputeBounds()
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+		n.recomputeBounds()
+	}
+	walk(t.root)
+	t.size -= removed
+	return removed
+}
+
+// All appends every stored entry to dst and returns the extended slice.
+func (t *Tree) All(dst []Entry) []Entry {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			dst = append(dst, n.entries...)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return dst
+}

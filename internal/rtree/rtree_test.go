@@ -1,0 +1,278 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func box(x, y, z, sx, sy, sz int) geom.Box {
+	return geom.BoxAt(geom.Pt(x, y, z), sx, sy, sz)
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("len: %d", tr.Len())
+	}
+	if tr.Intersects(box(0, 0, 0, 100, 100, 100)) {
+		t.Fatal("empty tree should intersect nothing")
+	}
+	if got := tr.Search(box(0, 0, 0, 10, 10, 10), nil); len(got) != 0 {
+		t.Fatalf("search on empty tree: %v", got)
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New()
+	tr.Insert(box(0, 0, 0, 2, 2, 2), 1)
+	tr.Insert(box(5, 5, 5, 2, 2, 2), 2)
+	tr.Insert(box(1, 1, 1, 2, 2, 2), 3)
+	if tr.Len() != 3 {
+		t.Fatalf("len: %d", tr.Len())
+	}
+	got := tr.Search(box(0, 0, 0, 3, 3, 3), nil)
+	ids := map[int]bool{}
+	for _, e := range got {
+		ids[e.ID] = true
+	}
+	if !ids[1] || !ids[3] || ids[2] {
+		t.Fatalf("search ids: %v", ids)
+	}
+	if !tr.Intersects(box(6, 6, 6, 1, 1, 1)) {
+		t.Fatal("should intersect entry 2")
+	}
+	if tr.Intersects(box(100, 100, 100, 1, 1, 1)) {
+		t.Fatal("should not intersect far window")
+	}
+}
+
+func TestIntersectsExcept(t *testing.T) {
+	tr := New()
+	tr.Insert(box(0, 0, 0, 2, 2, 2), 7)
+	tr.Insert(box(1, 1, 1, 2, 2, 2), 8)
+	w := box(0, 0, 0, 3, 3, 3)
+	if !tr.IntersectsExcept(w, map[int]bool{7: true}) {
+		t.Fatal("entry 8 should still block")
+	}
+	if tr.IntersectsExcept(w, map[int]bool{7: true, 8: true}) {
+		t.Fatal("both skipped, nothing should block")
+	}
+	if tr.IntersectsExcept(box(50, 0, 0, 1, 1, 1), nil) {
+		t.Fatal("far window should be clear")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	b := box(3, 3, 3, 2, 2, 2)
+	tr.Insert(b, 42)
+	tr.Insert(box(0, 0, 0, 1, 1, 1), 43)
+	if !tr.Delete(b, 42) {
+		t.Fatal("delete should succeed")
+	}
+	if tr.Delete(b, 42) {
+		t.Fatal("double delete should fail")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len after delete: %d", tr.Len())
+	}
+	if tr.Intersects(b) {
+		t.Fatal("deleted box should not intersect")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New()
+	for i := 0; i < 20; i++ {
+		tr.Insert(box(i, 0, 0, 1, 1, 1), 5)
+		tr.Insert(box(i, 2, 0, 1, 1, 1), 6)
+	}
+	if n := tr.DeleteAll(5); n != 20 {
+		t.Fatalf("deleted %d entries for id 5", n)
+	}
+	if tr.Len() != 20 {
+		t.Fatalf("len: %d", tr.Len())
+	}
+	if tr.Intersects(box(0, 0, 0, 40, 1, 1)) {
+		t.Fatal("row y=0 should be empty")
+	}
+	if !tr.Intersects(box(0, 2, 0, 40, 1, 1)) {
+		t.Fatal("row y=2 should remain")
+	}
+}
+
+func TestManyInsertsSplitCorrectness(t *testing.T) {
+	tr := New()
+	const n = 500
+	rng := rand.New(rand.NewSource(1))
+	boxes := make([]geom.Box, n)
+	for i := 0; i < n; i++ {
+		boxes[i] = box(rng.Intn(100), rng.Intn(100), rng.Intn(20), 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(2))
+		tr.Insert(boxes[i], i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len: %d", tr.Len())
+	}
+	// Cross-check window queries against brute force.
+	for trial := 0; trial < 50; trial++ {
+		w := box(rng.Intn(100), rng.Intn(100), rng.Intn(20), 1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(5))
+		want := map[int]bool{}
+		for i, b := range boxes {
+			if b.Intersects(w) {
+				want[i] = true
+			}
+		}
+		got := map[int]bool{}
+		for _, e := range tr.Search(w, nil) {
+			got[e.ID] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing id %d", trial, id)
+			}
+		}
+		if tr.Intersects(w) != (len(want) > 0) {
+			t.Fatalf("trial %d: Intersects mismatch", trial)
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	tr := New()
+	for i := 0; i < 30; i++ {
+		tr.Insert(box(i, i, 0, 1, 1, 1), i)
+	}
+	got := tr.All(nil)
+	if len(got) != 30 {
+		t.Fatalf("all: %d entries", len(got))
+	}
+	seen := map[int]bool{}
+	for _, e := range got {
+		seen[e.ID] = true
+	}
+	for i := 0; i < 30; i++ {
+		if !seen[i] {
+			t.Fatalf("missing id %d", i)
+		}
+	}
+}
+
+func TestBoundsTracksInserts(t *testing.T) {
+	tr := New()
+	tr.Insert(box(0, 0, 0, 1, 1, 1), 0)
+	tr.Insert(box(9, 9, 9, 1, 1, 1), 1)
+	want := geom.NewBox(0, 0, 0, 10, 10, 10)
+	if tr.Bounds() != want {
+		t.Fatalf("bounds: %v want %v", tr.Bounds(), want)
+	}
+}
+
+func TestDeleteInterleaved(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(7))
+	live := map[int]geom.Box{}
+	next := 0
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(3) != 0 || len(live) == 0 {
+			b := box(rng.Intn(50), rng.Intn(50), rng.Intn(10), 1, 1, 1)
+			tr.Insert(b, next)
+			live[next] = b
+			next++
+		} else {
+			// delete a random live entry
+			for id, b := range live {
+				if !tr.Delete(b, id) {
+					t.Fatalf("delete of live entry %d failed", id)
+				}
+				delete(live, id)
+				break
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("len %d want %d", tr.Len(), len(live))
+	}
+	// Full-window query returns exactly the live set.
+	got := map[int]bool{}
+	for _, e := range tr.Search(box(-1, -1, -1, 60, 60, 20), nil) {
+		got[e.ID] = true
+	}
+	if len(got) != len(live) {
+		t.Fatalf("query %d live %d", len(got), len(live))
+	}
+}
+
+// Property: after inserting any set of boxes, every box is findable via a
+// query of itself, and Bounds contains all of them.
+func TestQuickInsertFindable(t *testing.T) {
+	f := func(coords []int16) bool {
+		tr := New()
+		var boxes []geom.Box
+		for i := 0; i+2 < len(coords) && i < 60; i += 3 {
+			b := box(int(coords[i]%100), int(coords[i+1]%100), int(coords[i+2]%20), 2, 2, 2)
+			boxes = append(boxes, b)
+			tr.Insert(b, i/3)
+		}
+		for i, b := range boxes {
+			// The same box may be inserted twice with different IDs;
+			// require the exact (box,id) pair to be present.
+			found := false
+			for _, e := range tr.Search(b, nil) {
+				if e.Box == b && e.ID == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+			if !tr.Bounds().ContainsBox(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(box(rng.Intn(500), rng.Intn(500), rng.Intn(60), 2, 2, 2), i)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(box(rng.Intn(500), rng.Intn(500), rng.Intn(60), 2, 2, 2), i)
+	}
+	var dst []Entry
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = tr.Search(box(rng.Intn(500), rng.Intn(500), rng.Intn(60), 8, 8, 8), dst[:0])
+	}
+}
+
+func BenchmarkIntersects(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(box(rng.Intn(500), rng.Intn(500), rng.Intn(60), 2, 2, 2), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Intersects(box(rng.Intn(500), rng.Intn(500), rng.Intn(60), 1, 1, 1))
+	}
+}

@@ -1,0 +1,262 @@
+// Package sim is a small dense state-vector simulator used to verify the
+// gate-level correctness of the decomposition pipeline: that the 15-gate
+// Toffoli network, the H = P·V·P lowering, the controlled-V expansion and
+// the MCT ladder implement exactly the unitaries they claim (up to global
+// phase), on every basis state.
+//
+// It supports the gate vocabulary of package qc on up to ~14 qubits, which
+// is ample for the identities under test. Qubit 0 is the most significant
+// bit of the basis-state index (big-endian), matching the reading order of
+// circuit diagrams.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/qc"
+)
+
+// State is a normalized 2^n-dimensional state vector.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewState returns |0...0⟩ on n qubits.
+func NewState(n int) *State {
+	if n < 1 || n > 20 {
+		panic(fmt.Sprintf("sim: unsupported qubit count %d", n))
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<n)}
+	s.amp[0] = 1
+	return s
+}
+
+// Basis returns the computational basis state |k⟩ on n qubits.
+func Basis(n, k int) *State {
+	s := NewState(n)
+	s.amp[0] = 0
+	s.amp[k] = 1
+	return s
+}
+
+// Qubits returns the qubit count.
+func (s *State) Qubits() int { return s.n }
+
+// Amplitude returns ⟨k|s⟩.
+func (s *State) Amplitude(k int) complex128 { return s.amp[k] }
+
+// Clone copies the state.
+func (s *State) Clone() *State {
+	return &State{n: s.n, amp: append([]complex128(nil), s.amp...)}
+}
+
+// bit returns the value of qubit q in basis index k (qubit 0 = MSB).
+func (s *State) bit(k, q int) int {
+	return (k >> (s.n - 1 - q)) & 1
+}
+
+// flip returns k with qubit q toggled.
+func (s *State) flip(k, q int) int {
+	return k ^ (1 << (s.n - 1 - q))
+}
+
+// applySingle applies the 2×2 unitary [[a,b],[c,d]] to qubit q.
+func (s *State) applySingle(q int, a, b, c, d complex128) {
+	mask := 1 << (s.n - 1 - q)
+	for k := range s.amp {
+		if k&mask != 0 {
+			continue
+		}
+		k1 := k | mask
+		v0, v1 := s.amp[k], s.amp[k1]
+		s.amp[k] = a*v0 + b*v1
+		s.amp[k1] = c*v0 + d*v1
+	}
+}
+
+// Apply applies one gate.
+func (s *State) Apply(g qc.Gate) error {
+	if g.MaxQubit() >= s.n {
+		return fmt.Errorf("sim: gate %v exceeds %d qubits", g, s.n)
+	}
+	switch g.Kind {
+	case qc.GateNOT:
+		s.applySingle(g.Targets[0], 0, 1, 1, 0)
+	case qc.GateZ:
+		s.applySingle(g.Targets[0], 1, 0, 0, -1)
+	case qc.GateH:
+		h := complex(1/math.Sqrt2, 0)
+		s.applySingle(g.Targets[0], h, h, h, -h)
+	case qc.GateP:
+		s.applySingle(g.Targets[0], 1, 0, 0, 1i)
+	case qc.GatePdag:
+		s.applySingle(g.Targets[0], 1, 0, 0, -1i)
+	case qc.GateT:
+		s.applySingle(g.Targets[0], 1, 0, 0, cmplx.Exp(1i*math.Pi/4))
+	case qc.GateTdag:
+		s.applySingle(g.Targets[0], 1, 0, 0, cmplx.Exp(-1i*math.Pi/4))
+	case qc.GateV, qc.GateVdag:
+		// V = (1/(1+i))·[[1, -i],[-i, 1]] — a square root of X with
+		// V·V = X exactly (the paper's Eq. 5 up to global phase).
+		pre := complex(0.5, 0.5)
+		mi := complex(0, -1)
+		if g.Kind == qc.GateVdag {
+			pre = complex(0.5, -0.5)
+			mi = complex(0, 1)
+		}
+		if len(g.Controls) == 1 {
+			s.applyControlledSingle(g.Controls[0], g.Targets[0], pre, pre*mi, pre*mi, pre)
+			return nil
+		}
+		s.applySingle(g.Targets[0], pre, pre*mi, pre*mi, pre)
+	case qc.GateCNOT:
+		s.applyCX(g.Controls[0], g.Targets[0])
+	case qc.GateToffoli:
+		s.applyMCX(g.Controls, g.Targets[0])
+	case qc.GateMCT:
+		s.applyMCX(g.Controls, g.Targets[0])
+	case qc.GateSwap:
+		s.applySwap(g.Targets[0], g.Targets[1])
+	case qc.GateFredkin:
+		s.applyCSwap(g.Controls[0], g.Targets[0], g.Targets[1])
+	default:
+		return fmt.Errorf("sim: unsupported gate kind %v", g.Kind)
+	}
+	return nil
+}
+
+func (s *State) applyControlledSingle(c, t int, a, b, cc, d complex128) {
+	cm := 1 << (s.n - 1 - c)
+	tm := 1 << (s.n - 1 - t)
+	for k := range s.amp {
+		if k&cm == 0 || k&tm != 0 {
+			continue
+		}
+		k1 := k | tm
+		v0, v1 := s.amp[k], s.amp[k1]
+		s.amp[k] = a*v0 + b*v1
+		s.amp[k1] = cc*v0 + d*v1
+	}
+}
+
+func (s *State) applyCX(c, t int) {
+	cm := 1 << (s.n - 1 - c)
+	tm := 1 << (s.n - 1 - t)
+	for k := range s.amp {
+		if k&cm != 0 && k&tm == 0 {
+			k1 := k | tm
+			s.amp[k], s.amp[k1] = s.amp[k1], s.amp[k]
+		}
+	}
+}
+
+func (s *State) applyMCX(controls []int, t int) {
+	var cm int
+	for _, c := range controls {
+		cm |= 1 << (s.n - 1 - c)
+	}
+	tm := 1 << (s.n - 1 - t)
+	for k := range s.amp {
+		if k&cm == cm && k&tm == 0 {
+			k1 := k | tm
+			s.amp[k], s.amp[k1] = s.amp[k1], s.amp[k]
+		}
+	}
+}
+
+func (s *State) applySwap(a, b int) {
+	am := 1 << (s.n - 1 - a)
+	bm := 1 << (s.n - 1 - b)
+	for k := range s.amp {
+		if k&am != 0 && k&bm == 0 {
+			k1 := (k &^ am) | bm
+			s.amp[k], s.amp[k1] = s.amp[k1], s.amp[k]
+		}
+	}
+}
+
+func (s *State) applyCSwap(c, a, b int) {
+	cm := 1 << (s.n - 1 - c)
+	am := 1 << (s.n - 1 - a)
+	bm := 1 << (s.n - 1 - b)
+	for k := range s.amp {
+		if k&cm != 0 && k&am != 0 && k&bm == 0 {
+			k1 := (k &^ am) | bm
+			s.amp[k], s.amp[k1] = s.amp[k1], s.amp[k]
+		}
+	}
+}
+
+// Run applies every gate of the circuit in order.
+func (s *State) Run(c *qc.Circuit) error {
+	for i, g := range c.Gates {
+		if err := s.Apply(g); err != nil {
+			return fmt.Errorf("sim: gate %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// FidelityUpToPhase returns |⟨a|b⟩|: 1 means the states agree up to a
+// global phase.
+func FidelityUpToPhase(a, b *State) float64 {
+	if a.n != b.n {
+		return 0
+	}
+	var inner complex128
+	for k := range a.amp {
+		inner += cmplx.Conj(a.amp[k]) * b.amp[k]
+	}
+	return cmplx.Abs(inner)
+}
+
+// EquivalentUpToPhase reports whether two circuits over n qubits implement
+// the same unitary up to ONE shared global phase, by comparing their action
+// on every computational basis state and requiring all relative phases to
+// agree.
+func EquivalentUpToPhase(n int, c1, c2 *qc.Circuit) (bool, error) {
+	return EquivalentOnCleanAncillas(n, n, c1, c2)
+}
+
+// EquivalentOnCleanAncillas is EquivalentUpToPhase restricted to basis
+// states whose qubits ≥ ancStart are |0⟩ — the contract of decompositions
+// that borrow clean workspace ancillas (e.g. the MCT V-chain).
+func EquivalentOnCleanAncillas(n, ancStart int, c1, c2 *qc.Circuit) (bool, error) {
+	const eps = 1e-9
+	ancMask := 0
+	for q := ancStart; q < n; q++ {
+		ancMask |= 1 << (n - 1 - q)
+	}
+	var ref complex128
+	haveRef := false
+	for k := 0; k < 1<<n; k++ {
+		if k&ancMask != 0 {
+			continue
+		}
+		s1 := Basis(n, k)
+		if err := s1.Run(c1); err != nil {
+			return false, err
+		}
+		s2 := Basis(n, k)
+		if err := s2.Run(c2); err != nil {
+			return false, err
+		}
+		var inner complex128
+		for j := range s1.amp {
+			inner += cmplx.Conj(s1.amp[j]) * s2.amp[j]
+		}
+		if math.Abs(cmplx.Abs(inner)-1) > eps {
+			return false, nil // states differ beyond phase
+		}
+		if !haveRef {
+			ref = inner
+			haveRef = true
+		} else if cmplx.Abs(inner-ref) > 1e-7 {
+			return false, nil // per-state phases differ: not one global phase
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qc"
+)
+
+func apply(t *testing.T, s *State, g qc.Gate) {
+	t.Helper()
+	if err := s.Apply(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNOTFlipsBasis(t *testing.T) {
+	s := NewState(2)
+	apply(t, s, qc.NOT(0))
+	// Qubit 0 is the MSB: |00⟩ → |10⟩ = index 2.
+	if cmplx.Abs(s.Amplitude(2)-1) > 1e-12 {
+		t.Fatalf("amp: %v", s.amp)
+	}
+}
+
+func TestCNOTTruthTable(t *testing.T) {
+	want := map[int]int{0: 0, 1: 1, 2: 3, 3: 2} // control = qubit 0
+	for in, out := range want {
+		s := Basis(2, in)
+		apply(t, s, qc.CNOT(0, 1))
+		if cmplx.Abs(s.Amplitude(out)-1) > 1e-12 {
+			t.Fatalf("CNOT|%02b⟩: %v", in, s.amp)
+		}
+	}
+}
+
+func TestToffoliTruthTable(t *testing.T) {
+	for in := 0; in < 8; in++ {
+		s := Basis(3, in)
+		apply(t, s, qc.Toffoli(0, 1, 2))
+		out := in
+		if in&0b110 == 0b110 {
+			out = in ^ 1
+		}
+		if cmplx.Abs(s.Amplitude(out)-1) > 1e-12 {
+			t.Fatalf("Toffoli|%03b⟩ wrong", in)
+		}
+	}
+}
+
+func TestSwapAndFredkin(t *testing.T) {
+	s := Basis(2, 0b10)
+	apply(t, s, qc.Swap(0, 1))
+	if cmplx.Abs(s.Amplitude(0b01)-1) > 1e-12 {
+		t.Fatal("swap failed")
+	}
+	// Fredkin swaps only when control set.
+	s2 := Basis(3, 0b110)
+	apply(t, s2, qc.Fredkin(0, 1, 2))
+	if cmplx.Abs(s2.Amplitude(0b101)-1) > 1e-12 {
+		t.Fatal("controlled swap (on) failed")
+	}
+	s3 := Basis(3, 0b010)
+	apply(t, s3, qc.Fredkin(0, 1, 2))
+	if cmplx.Abs(s3.Amplitude(0b010)-1) > 1e-12 {
+		t.Fatal("controlled swap (off) should be identity")
+	}
+}
+
+func TestHadamardSelfInverse(t *testing.T) {
+	s := NewState(1)
+	apply(t, s, qc.H(0))
+	if math.Abs(cmplx.Abs(s.Amplitude(0))-1/math.Sqrt2) > 1e-12 {
+		t.Fatal("H|0⟩ amplitude wrong")
+	}
+	apply(t, s, qc.H(0))
+	if cmplx.Abs(s.Amplitude(0)-1) > 1e-12 {
+		t.Fatal("H·H ≠ I")
+	}
+}
+
+func TestPhaseAlgebra(t *testing.T) {
+	// T·T = P, P·P = Z on |1⟩.
+	one := Basis(1, 1)
+	apply(t, one, qc.T(0))
+	apply(t, one, qc.T(0))
+	p := Basis(1, 1)
+	apply(t, p, qc.P(0))
+	if cmplx.Abs(one.Amplitude(1)-p.Amplitude(1)) > 1e-12 {
+		t.Fatal("T² ≠ P")
+	}
+	apply(t, p, qc.P(0))
+	if cmplx.Abs(p.Amplitude(1)+1) > 1e-12 {
+		t.Fatal("P² ≠ Z")
+	}
+	// T·T† = I.
+	s := Basis(1, 1)
+	apply(t, s, qc.T(0))
+	apply(t, s, qc.Tdag(0))
+	if cmplx.Abs(s.Amplitude(1)-1) > 1e-12 {
+		t.Fatal("T·T† ≠ I")
+	}
+}
+
+func TestVSquaredIsX(t *testing.T) {
+	for in := 0; in < 2; in++ {
+		s := Basis(1, in)
+		apply(t, s, qc.V(0))
+		apply(t, s, qc.V(0))
+		if cmplx.Abs(s.Amplitude(1-in)-1) > 1e-9 {
+			t.Fatalf("V²|%d⟩ ≠ X|%d⟩: %v", in, in, s.amp)
+		}
+	}
+	// V·V† = I.
+	s := Basis(1, 1)
+	apply(t, s, qc.V(0))
+	apply(t, s, qc.Gate{Kind: qc.GateVdag, Targets: []int{0}})
+	if cmplx.Abs(s.Amplitude(1)-1) > 1e-9 {
+		t.Fatal("V·V† ≠ I")
+	}
+}
+
+func TestFidelityUpToPhase(t *testing.T) {
+	a := Basis(1, 0)
+	b := Basis(1, 0)
+	// Multiply b by a global phase via Z on |0⟩... Z|0⟩ = |0⟩; use T on
+	// |1⟩ states instead.
+	a1 := Basis(1, 1)
+	b1 := Basis(1, 1)
+	apply(t, b1, qc.T(0))
+	if f := FidelityUpToPhase(a1, b1); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("phase should not affect fidelity: %f", f)
+	}
+	apply(t, b, qc.H(0))
+	if f := FidelityUpToPhase(a, b); math.Abs(f-1/math.Sqrt2) > 1e-12 {
+		t.Fatalf("fidelity: %f", f)
+	}
+}
+
+func TestNormPreserved(t *testing.T) {
+	c := qc.New("n", 3)
+	c.Append(qc.H(0), qc.CNOT(0, 1), qc.T(1), qc.V(2), qc.Toffoli(0, 1, 2), qc.P(0))
+	s := NewState(3)
+	if err := s.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	var norm float64
+	for k := range s.amp {
+		norm += real(s.amp[k])*real(s.amp[k]) + imag(s.amp[k])*imag(s.amp[k])
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("norm drifted: %f", norm)
+	}
+}
+
+func TestRejectsOutOfRange(t *testing.T) {
+	s := NewState(2)
+	if err := s.Apply(qc.CNOT(0, 5)); err == nil {
+		t.Fatal("out-of-range gate accepted")
+	}
+}
+
+// Property: every supported gate preserves the norm on random states.
+func TestQuickUnitarity(t *testing.T) {
+	gates := []qc.Gate{
+		qc.NOT(0), qc.H(1), qc.P(2), qc.T(0), qc.Tdag(1), qc.V(2),
+		{Kind: qc.GateVdag, Targets: []int{0}},
+		{Kind: qc.GatePdag, Targets: []int{1}},
+		{Kind: qc.GateZ, Targets: []int{2}},
+		qc.CNOT(0, 1), qc.Swap(1, 2), qc.Toffoli(0, 1, 2),
+		{Kind: qc.GateV, Controls: []int{0}, Targets: []int{2}},
+	}
+	f := func(re, im [8]int8) bool {
+		s := NewState(3)
+		var norm float64
+		for k := 0; k < 8; k++ {
+			s.amp[k] = complex(float64(re[k]), float64(im[k]))
+			norm += real(s.amp[k])*real(s.amp[k]) + imag(s.amp[k])*imag(s.amp[k])
+		}
+		if norm == 0 {
+			return true
+		}
+		scale := complex(1/math.Sqrt(norm), 0)
+		for k := range s.amp {
+			s.amp[k] *= scale
+		}
+		for _, g := range gates {
+			if err := s.Apply(g); err != nil {
+				return false
+			}
+		}
+		var after float64
+		for k := range s.amp {
+			after += real(s.amp[k])*real(s.amp[k]) + imag(s.amp[k])*imag(s.amp[k])
+		}
+		return math.Abs(after-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gate followed by its inverse is the identity on random basis
+// states.
+func TestQuickInverses(t *testing.T) {
+	pairs := [][2]qc.Gate{
+		{qc.T(0), qc.Tdag(0)},
+		{qc.P(1), {Kind: qc.GatePdag, Targets: []int{1}}},
+		{qc.V(2), {Kind: qc.GateVdag, Targets: []int{2}}},
+		{qc.H(0), qc.H(0)},
+		{qc.NOT(1), qc.NOT(1)},
+		{qc.CNOT(0, 2), qc.CNOT(0, 2)},
+		{qc.Toffoli(0, 1, 2), qc.Toffoli(0, 1, 2)},
+		{qc.Swap(0, 1), qc.Swap(0, 1)},
+	}
+	f := func(k uint8) bool {
+		basis := int(k % 8)
+		for _, p := range pairs {
+			s := Basis(3, basis)
+			if s.Apply(p[0]) != nil || s.Apply(p[1]) != nil {
+				return false
+			}
+			if cmplx.Abs(s.Amplitude(basis)-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

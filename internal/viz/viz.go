@@ -1,0 +1,184 @@
+// Package viz renders compressed TQEC layouts (the paper's Fig. 20): an
+// ASCII time-slice view for terminals, a CSV cell dump for external
+// plotting, and a Wavefront OBJ export of the module/box/net geometry for
+// 3D viewers.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/place"
+	"repro/internal/route"
+)
+
+// CellKind classifies an occupied lattice cell.
+type CellKind byte
+
+// Cell kinds, also used as ASCII glyphs.
+const (
+	CellEmpty  CellKind = '.'
+	CellModule CellKind = 'M'
+	CellBox    CellKind = 'B'
+	CellNet    CellKind = '*'
+)
+
+// Scene is a rasterized layout.
+type Scene struct {
+	Bounds geom.Box
+	cells  map[geom.Point]CellKind
+}
+
+// BuildScene rasterizes a placement and its routing result.
+func BuildScene(p *place.Placement, r *route.Result) *Scene {
+	s := &Scene{cells: map[geom.Point]CellKind{}}
+	fill := func(b geom.Box, k CellKind) {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			for y := b.Min.Y; y < b.Max.Y; y++ {
+				for z := b.Min.Z; z < b.Max.Z; z++ {
+					s.cells[geom.Pt(x, y, z)] = k
+				}
+			}
+		}
+		s.Bounds = s.Bounds.Union(b)
+	}
+	for m := range p.Clust.NL.Modules {
+		fill(p.ModuleBox(m), CellModule)
+	}
+	for _, b := range p.BoxObstacles() {
+		fill(b, CellBox)
+	}
+	if r != nil {
+		for _, path := range r.Routes {
+			for _, c := range path {
+				if _, occupied := s.cells[c]; !occupied {
+					s.cells[c] = CellNet
+				}
+				s.Bounds = s.Bounds.UnionPoint(c)
+			}
+		}
+	}
+	return s
+}
+
+// At returns the cell kind at p.
+func (s *Scene) At(p geom.Point) CellKind {
+	if k, ok := s.cells[p]; ok {
+		return k
+	}
+	return CellEmpty
+}
+
+// Occupied returns the number of non-empty cells.
+func (s *Scene) Occupied() int { return len(s.cells) }
+
+// WriteSlices renders one ASCII panel per z layer (height slice): x grows
+// rightward (time), y grows downward.
+func (s *Scene) WriteSlices(w io.Writer) error {
+	b := s.Bounds
+	for z := b.Min.Z; z < b.Max.Z; z++ {
+		if _, err := fmt.Fprintf(w, "z=%d\n", z); err != nil {
+			return err
+		}
+		for y := b.Min.Y; y < b.Max.Y; y++ {
+			row := make([]byte, 0, b.Dx())
+			for x := b.Min.X; x < b.Max.X; x++ {
+				row = append(row, byte(s.At(geom.Pt(x, y, z))))
+			}
+			if _, err := fmt.Fprintf(w, "%s\n", row); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV dumps occupied cells as "x,y,z,kind" rows (deterministic
+// order).
+func (s *Scene) WriteCSV(w io.Writer) error {
+	pts := make([]geom.Point, 0, len(s.cells))
+	for p := range s.cells {
+		pts = append(pts, p)
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		a, b := pts[i], pts[j]
+		if a.Z != b.Z {
+			return a.Z < b.Z
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	if _, err := fmt.Fprintln(w, "x,y,z,kind"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%c\n", p.X, p.Y, p.Z, s.cells[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteOBJ exports module bodies and boxes as cuboids and routed nets as
+// unit cubes in Wavefront OBJ format.
+func WriteOBJ(w io.Writer, p *place.Placement, r *route.Result) error {
+	vtx := 0
+	cube := func(b geom.Box, group string) error {
+		if _, err := fmt.Fprintf(w, "g %s\n", group); err != nil {
+			return err
+		}
+		x0, y0, z0 := b.Min.X, b.Min.Y, b.Min.Z
+		x1, y1, z1 := b.Max.X, b.Max.Y, b.Max.Z
+		corners := [][3]int{
+			{x0, y0, z0}, {x1, y0, z0}, {x1, y1, z0}, {x0, y1, z0},
+			{x0, y0, z1}, {x1, y0, z1}, {x1, y1, z1}, {x0, y1, z1},
+		}
+		for _, c := range corners {
+			if _, err := fmt.Fprintf(w, "v %d %d %d\n", c[0], c[1], c[2]); err != nil {
+				return err
+			}
+		}
+		faces := [][4]int{
+			{1, 2, 3, 4}, {5, 8, 7, 6}, {1, 5, 6, 2}, {2, 6, 7, 3}, {3, 7, 8, 4}, {4, 8, 5, 1},
+		}
+		for _, f := range faces {
+			if _, err := fmt.Fprintf(w, "f %d %d %d %d\n", vtx+f[0], vtx+f[1], vtx+f[2], vtx+f[3]); err != nil {
+				return err
+			}
+		}
+		vtx += 8
+		return nil
+	}
+	for m := range p.Clust.NL.Modules {
+		if err := cube(p.ModuleBox(m), fmt.Sprintf("module_%d", m)); err != nil {
+			return err
+		}
+	}
+	for i, b := range p.BoxObstacles() {
+		if err := cube(b, fmt.Sprintf("box_%d", i)); err != nil {
+			return err
+		}
+	}
+	if r != nil {
+		ids := make([]int, 0, len(r.Routes))
+		for id := range r.Routes {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			for _, c := range r.Routes[id] {
+				if err := cube(geom.CellBox(c), fmt.Sprintf("net_%d", id)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bridge"
+	"repro/internal/canonical"
+	"repro/internal/cluster"
+	"repro/internal/decompose"
+	"repro/internal/geom"
+	"repro/internal/icm"
+	"repro/internal/modular"
+	"repro/internal/place"
+	"repro/internal/qc"
+	"repro/internal/route"
+)
+
+func compiled(t testing.TB) (*place.Placement, *route.Result) {
+	t.Helper()
+	c := qc.New("viz", 3)
+	c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2), qc.CNOT(0, 2))
+	r, err := decompose.Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := icm.FromDecomposed(r.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := canonical.Build(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := modular.Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := bridge.Run(nl, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.Build(nl, cluster.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := place.DefaultOptions()
+	po.Iterations = 200
+	po.Seed = 2
+	pl, err := place.Run(cl, br.Nets, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := route.Run(pl, route.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, res
+}
+
+func TestBuildScene(t *testing.T) {
+	pl, res := compiled(t)
+	s := BuildScene(pl, res)
+	if s.Occupied() == 0 {
+		t.Fatal("empty scene")
+	}
+	if s.Bounds.Empty() {
+		t.Fatal("empty bounds")
+	}
+	// Module cells keep their kind even where nets pass by.
+	for m := range pl.Clust.NL.Modules {
+		b := pl.ModuleBox(m)
+		if s.At(b.Min) != CellModule {
+			t.Fatalf("module corner %v: %c", b.Min, s.At(b.Min))
+		}
+	}
+	if s.At(geom.Pt(-999, -999, -999)) != CellEmpty {
+		t.Fatal("far cell should be empty")
+	}
+}
+
+func TestSceneCountsNets(t *testing.T) {
+	pl, res := compiled(t)
+	s := BuildScene(pl, res)
+	stars := 0
+	for x := s.Bounds.Min.X; x < s.Bounds.Max.X; x++ {
+		for y := s.Bounds.Min.Y; y < s.Bounds.Max.Y; y++ {
+			for z := s.Bounds.Min.Z; z < s.Bounds.Max.Z; z++ {
+				if s.At(geom.Pt(x, y, z)) == CellNet {
+					stars++
+				}
+			}
+		}
+	}
+	if stars == 0 {
+		t.Fatal("no net cells rendered")
+	}
+}
+
+func TestWriteSlices(t *testing.T) {
+	pl, res := compiled(t)
+	s := BuildScene(pl, res)
+	var buf bytes.Buffer
+	if err := s.WriteSlices(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "z=") {
+		t.Fatal("no slice headers")
+	}
+	if !strings.ContainsAny(out, "M") {
+		t.Fatal("no module glyphs")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < s.Bounds.Dz() {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	pl, res := compiled(t)
+	s := BuildScene(pl, res)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "x,y,z,kind" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if len(lines)-1 != s.Occupied() {
+		t.Fatalf("%d rows for %d cells", len(lines)-1, s.Occupied())
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := s.WriteCSV(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("CSV output not deterministic")
+	}
+}
+
+func TestWriteOBJ(t *testing.T) {
+	pl, res := compiled(t)
+	var buf bytes.Buffer
+	if err := WriteOBJ(&buf, pl, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "g module_0") {
+		t.Fatal("missing module group")
+	}
+	if !strings.Contains(out, "v ") || !strings.Contains(out, "f ") {
+		t.Fatal("missing vertices or faces")
+	}
+	// Faces must reference valid vertex indices: count them.
+	vcount := strings.Count(out, "\nv ")
+	if strings.HasPrefix(out, "v ") {
+		vcount++
+	}
+	if vcount%8 != 0 {
+		t.Fatalf("vertex count %d not a multiple of 8", vcount)
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	pl, res := compiled(t)
+	s := BuildScene(pl, res)
+	var buf bytes.Buffer
+	if err := s.WriteSVG(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if !strings.Contains(out, svgFill[CellModule]) {
+		t.Fatal("no module rectangles")
+	}
+	if !strings.Contains(out, svgFill[CellNet]) {
+		t.Fatal("no net rectangles")
+	}
+	// One panel per z slice.
+	if strings.Count(out, ">z=") != s.Bounds.Dz() {
+		t.Fatalf("panels: %d want %d", strings.Count(out, ">z="), s.Bounds.Dz())
+	}
+}
+
+func TestWriteSVGEmptyScene(t *testing.T) {
+	s := &Scene{cells: map[geom.Point]CellKind{}}
+	var buf bytes.Buffer
+	if err := s.WriteSVG(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("empty scene should still emit svg")
+	}
+}

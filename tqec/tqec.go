@@ -1,0 +1,229 @@
+// Package tqec is the public API of the bridge-based TQEC circuit
+// compressor: it reproduces the automated space-time-volume optimization
+// flow of Tseng, Hsu, Lin and Chang (DAC'21 / TCAD), turning an arbitrary
+// reversible or quantum circuit into a compacted 3D geometric description.
+//
+// The pipeline (Fig. 11 of the paper):
+//
+//	gate decomposition → ICM conversion → canonical geometric description
+//	→ modularization → iterative bridging → super-module clustering
+//	→ time-ordering-aware 2.5D placement (SA) → friend-net-aware routing.
+//
+// Compile runs the whole flow and returns every intermediate artifact plus
+// the final dimensions, volume and per-stage runtime breakdown; the
+// Options toggles reproduce the paper's ablations (bridging on/off for
+// Table V, primal-group clustering on/off for Table III).
+package tqec
+
+import (
+	"fmt"
+
+	"repro/internal/bridge"
+	"repro/internal/canonical"
+	"repro/internal/cluster"
+	"repro/internal/decompose"
+	"repro/internal/distill"
+	"repro/internal/icm"
+	"repro/internal/metrics"
+	"repro/internal/modular"
+	"repro/internal/place"
+	"repro/internal/qc"
+	"repro/internal/route"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// Bridging enables the iterative bridging stage (disable to
+	// reproduce the paper's "w/o bridging" ablation, Table V).
+	Bridging bool
+	// PrimalGroups enables primal-group super-modules (disable to
+	// reproduce the conference version [36], Table III).
+	PrimalGroups bool
+	// MaxGroupSize caps primal-group membership.
+	MaxGroupSize int
+	// NoBoxes skips distillation-box attachment: injections are treated
+	// as raw state injections (used when compressing a distillation
+	// circuit itself).
+	NoBoxes bool
+	// PrimalGap controls primal bridging, an extension beyond the paper:
+	// penetrations of one line within this many canonical slots share a
+	// module (fusing stretches of the primal loop across idle slots).
+	// 0 or 1 reproduces the paper's dual-only bridging.
+	PrimalGap int
+	// Place configures the SA placement engine.
+	Place place.Options
+	// Route configures the dual-defect net router.
+	Route route.Options
+}
+
+// DefaultOptions returns the journal-version flow with the paper's SA
+// parameterization (2000 iterations).
+func DefaultOptions() Options {
+	return Options{
+		Bridging:     true,
+		PrimalGroups: true,
+		MaxGroupSize: 6,
+		Place:        place.DefaultOptions(),
+		Route:        route.DefaultOptions(),
+	}
+}
+
+// FastOptions returns a reduced-effort configuration suitable for tests
+// and quick exploration (a few thousand SA moves instead of the automatic
+// 200-per-node budget).
+func FastOptions() Options {
+	o := DefaultOptions()
+	o.Place.Iterations = 5000
+	return o
+}
+
+// Result carries every artifact of a compilation.
+type Result struct {
+	// Input and intermediate representations.
+	Circuit    *qc.Circuit
+	Decomposed *qc.Circuit
+	ICM        *icm.Circuit
+	Canonical  *canonical.Description
+	Netlist    *modular.Netlist
+	Bridging   *bridge.Result
+	Clustering *cluster.Clustering
+	Placement  *place.Placement
+	Routing    *route.Result
+
+	// Dims are the final W/H/D extents of the compressed description
+	// (module bodies, distillation boxes and routed nets).
+	Dims metrics.Dims
+	// Volume is the final space-time volume W×H×D. Distillation boxes
+	// are integrated into the layout, so no separate box volume is added
+	// (Table II's "Ours" column).
+	Volume int
+	// CanonicalVolume is the canonical-form volume of the same circuit.
+	CanonicalVolume int
+	// BoxVolume is the lower-bound distillation box volume (Vol_|Y⟩ +
+	// Vol_|A⟩ of Table I), used when comparing against baselines that do
+	// not integrate boxes.
+	BoxVolume int
+	// Breakdown is the per-stage wall-clock breakdown (Table VI).
+	Breakdown *metrics.Breakdown
+}
+
+// CompressionRatio returns canonical volume over final volume (how many
+// times smaller the compressed description is).
+func (r *Result) CompressionRatio() float64 {
+	if r.Volume == 0 {
+		return 0
+	}
+	return float64(r.CanonicalVolume+r.BoxVolume) / float64(r.Volume)
+}
+
+// Compile runs the full compression flow on a reversible/quantum circuit.
+func Compile(c *qc.Circuit, opts Options) (*Result, error) {
+	res := &Result{Circuit: c, Breakdown: metrics.NewBreakdown()}
+	var err error
+	res.Breakdown.Time(metrics.StageOther, func() {
+		var d *decompose.Result
+		if d, err = decompose.Decompose(c); err != nil {
+			return
+		}
+		res.Decomposed = d.Circuit
+		res.ICM, err = icm.FromDecomposed(res.Decomposed)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tqec: preprocess: %w", err)
+	}
+	return compileFrom(res, opts)
+}
+
+// CompileICM runs the flow on a circuit already in ICM form (e.g. the
+// state distillation circuits of package distill, the workloads Fowler &
+// Devitt compressed by hand).
+func CompileICM(ic *icm.Circuit, opts Options) (*Result, error) {
+	res := &Result{ICM: ic, Breakdown: metrics.NewBreakdown()}
+	return compileFrom(res, opts)
+}
+
+// compileFrom continues the pipeline after res.ICM is set.
+func compileFrom(res *Result, opts Options) (*Result, error) {
+	var err error
+	// Canonical description and modularization (charged to "other" per
+	// Table VI).
+	res.Breakdown.Time(metrics.StageOther, func() {
+		if res.Canonical, err = canonical.Build(res.ICM); err != nil {
+			return
+		}
+		gap := opts.PrimalGap
+		if gap < 1 {
+			gap = 1
+		}
+		res.Netlist, err = modular.BuildWithGap(res.Canonical, gap)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tqec: preprocess: %w", err)
+	}
+	stats := res.ICM.Stats()
+	res.CanonicalVolume = res.Canonical.Volume()
+	res.BoxVolume = distill.BoxVolume(stats.NumY, stats.NumA)
+
+	res.Breakdown.Time(metrics.StageBridging, func() {
+		res.Bridging, err = bridge.Run(res.Netlist, opts.Bridging)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tqec: bridging: %w", err)
+	}
+
+	res.Breakdown.Time(metrics.StagePlacement, func() {
+		var cl *cluster.Clustering
+		cl, err = cluster.Build(res.Netlist, cluster.Options{
+			PrimalGroups: opts.PrimalGroups,
+			MaxGroupSize: opts.MaxGroupSize,
+			NoBoxes:      opts.NoBoxes,
+		})
+		if err != nil {
+			return
+		}
+		res.Clustering = cl
+		res.Placement, err = place.Run(cl, res.Bridging.Nets, opts.Place)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tqec: placement: %w", err)
+	}
+
+	res.Breakdown.Time(metrics.StageRouting, func() {
+		res.Routing, err = route.Run(res.Placement, opts.Route)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tqec: routing: %w", err)
+	}
+
+	b := res.Routing.Bounds
+	res.Dims = metrics.Dims{W: b.Dy(), H: b.Dz(), D: b.Dx()}
+	res.Volume = res.Dims.Volume()
+	return res, nil
+}
+
+// CompileBenchmark generates one of the paper's RevLib benchmarks and
+// compiles it.
+func CompileBenchmark(name string, opts Options) (*Result, error) {
+	spec, err := qc.BenchmarkByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(spec.Generate(), opts)
+}
+
+// Verify re-checks the result's structural guarantees: placement overlap
+// freedom, time-ordering constraints, and routing legality. It is meant
+// for tests and examples; Compile's stages already maintain these
+// invariants.
+func (r *Result) Verify() error {
+	if err := r.Netlist.Validate(); err != nil {
+		return err
+	}
+	if err := r.Placement.CheckNoOverlap(); err != nil {
+		return err
+	}
+	if err := r.Placement.CheckTimeOrdering(); err != nil {
+		return err
+	}
+	return route.Verify(r.Placement, r.Routing)
+}
