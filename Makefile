@@ -1,0 +1,29 @@
+# Build/verify entry points. `make ci` is the full gate: vet, build,
+# race-enabled tests, and a replay of the committed fuzz corpora.
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz-seeds bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Replay the committed fuzz seed corpora as plain regression tests.
+fuzz-seeds:
+	$(GO) test -run 'Fuzz' ./internal/qc/
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+ci: vet build race fuzz-seeds

@@ -25,7 +25,7 @@ func ablationCompile(b *testing.B, mutate func(*tqec.Options)) *tqec.Result {
 	if mutate != nil {
 		mutate(&opts)
 	}
-	res, err := tqec.Compile(spec.Generate(), opts)
+	res, err := tqec.Compile(mustGen(b, spec), opts)
 	if err != nil {
 		b.Fatal(err)
 	}

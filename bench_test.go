@@ -55,7 +55,7 @@ func BenchmarkTable1Stats(b *testing.B) {
 	}
 	var nodes int
 	for i := 0; i < b.N; i++ {
-		d, err := decompose.Decompose(spec.Generate())
+		d, err := decompose.Decompose(mustGen(b, spec))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +100,7 @@ func BenchmarkTable2Baselines(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	d, err := decompose.Decompose(spec.Generate())
+	d, err := decompose.Decompose(mustGen(b, spec))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func BenchmarkStageBridging(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	d, err := decompose.Decompose(spec.Generate())
+	d, err := decompose.Decompose(mustGen(b, spec))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func BenchmarkStagePlacement(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	d, err := decompose.Decompose(spec.Generate())
+	d, err := decompose.Decompose(mustGen(b, spec))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -325,4 +325,14 @@ func BenchmarkStageRouting(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// mustGen generates a benchmark circuit, failing the test on error.
+func mustGen(tb testing.TB, spec qc.BenchmarkSpec) *qc.Circuit {
+	tb.Helper()
+	c, err := spec.Generate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
 }

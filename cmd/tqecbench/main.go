@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tqecbench [-table N | -fig name | -all] [-benchmarks a,b,c] [-full]
-//	          [-iters N] [-seed S] [-no-ablations]
+//	          [-iters N] [-seed S] [-no-ablations] [-timeout 10m]
 //
 // Tables: 1 (benchmark statistics), 2 (space-time volumes vs canonical and
 // [22]), 3 (conference-version ablation), 4 (dimensions), 5 (bridging
@@ -16,12 +16,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/harness"
+	"repro/tqec"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 	iters := flag.Int("iters", 0, "SA move budget (0 = auto: 200 per node)")
 	seed := flag.Int64("seed", 1, "random seed")
 	noAblations := flag.Bool("no-ablations", false, "skip the no-bridging/conference runs")
+	timeout := flag.Duration("timeout", 0, "abort each benchmark compilation after this long (0 = no limit)")
 	flag.Parse()
 
 	if *table == 0 && *fig == "" && !*all {
@@ -48,6 +51,7 @@ func main() {
 	}
 	cfg.PlaceIterations = *iters
 	cfg.Seed = *seed
+	cfg.Timeout = *timeout
 	if *noAblations {
 		cfg.Ablations = false
 	}
@@ -123,6 +127,17 @@ func figures(which string, all bool, seed int64, cfg harness.Config) error {
 }
 
 func fatal(err error) {
+	if se, ok := tqec.AsStageError(err); ok {
+		switch {
+		case errors.Is(err, tqec.ErrCanceled):
+			fmt.Fprintf(os.Stderr, "tqecbench: stage %s aborted (timed out?): %v\n", se.Stage, se.Err)
+		case errors.Is(err, tqec.ErrPanic):
+			fmt.Fprintf(os.Stderr, "tqecbench: stage %s crashed: %v\n%s", se.Stage, se.Err, se.Stack)
+		default:
+			fmt.Fprintf(os.Stderr, "tqecbench: stage %s failed: %v\n", se.Stage, se.Err)
+		}
+		os.Exit(1)
+	}
 	fmt.Fprintln(os.Stderr, "tqecbench:", err)
 	os.Exit(1)
 }

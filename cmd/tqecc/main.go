@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tqecc -bench 4gt10-v1_81 [-iters N] [-seed S] [-no-bridging]
-//	      [-conference] [-viz slices|csv|obj] [-o out.txt]
+//	      [-conference] [-timeout 30s] [-viz slices|csv|obj] [-o out.txt]
 //	tqecc -real circuit.real [...]
 //
 // Exactly one of -bench (a paper benchmark name) or -real (a RevLib .real
@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +34,7 @@ func main() {
 	conference := flag.Bool("conference", false, "disable primal-group clustering (conference version [36])")
 	vizMode := flag.String("viz", "", "emit a layout rendering: slices, csv, svg or obj")
 	out := flag.String("o", "", "visualization output file (default stdout)")
+	timeout := flag.Duration("timeout", 0, "abort compilation after this long (0 = no limit)")
 	flag.Parse()
 
 	if *list {
@@ -58,9 +61,22 @@ func main() {
 		opts.Place.TierPitch = 4
 	}
 
-	res, err := tqec.Compile(circuit, opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := tqec.CompileContext(ctx, circuit, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "tqecc: warning: degraded routing (%d fallback, %d unrouted net(s)); see diagnostics below\n",
+			len(res.Routing.FallbackNets), len(res.Routing.Failed))
+		for _, f := range res.Routing.FailedNets {
+			fmt.Fprintf(os.Stderr, "tqecc:   net %d: %s\n", f.NetID, f.Reason)
+		}
 	}
 
 	s := res.ICM.Stats()
@@ -116,7 +132,7 @@ func loadCircuit(bench, realFile string) (*qc.Circuit, error) {
 		if err != nil {
 			return nil, err
 		}
-		return spec.Generate(), nil
+		return spec.Generate()
 	case realFile != "":
 		f, err := os.Open(realFile)
 		if err != nil {
@@ -130,6 +146,17 @@ func loadCircuit(bench, realFile string) (*qc.Circuit, error) {
 }
 
 func fatal(err error) {
+	if se, ok := tqec.AsStageError(err); ok {
+		switch {
+		case errors.Is(err, tqec.ErrCanceled):
+			fmt.Fprintf(os.Stderr, "tqecc: stage %s aborted: %v\n", se.Stage, se.Err)
+		case errors.Is(err, tqec.ErrPanic):
+			fmt.Fprintf(os.Stderr, "tqecc: stage %s crashed: %v\n%s", se.Stage, se.Err, se.Stack)
+		default:
+			fmt.Fprintf(os.Stderr, "tqecc: stage %s failed: %v\n", se.Stage, se.Err)
+		}
+		os.Exit(1)
+	}
 	fmt.Fprintln(os.Stderr, "tqecc:", err)
 	os.Exit(1)
 }

@@ -78,7 +78,7 @@ func TestLin2DPacksTighterThan1D(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ic := icmFor(t, spec.Generate())
+	ic := icmFor(t, mustGen(t, spec))
 	l1, err := Lin1D(ic)
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestBaselinesBeatCanonical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ic := icmFor(t, spec.Generate())
+		ic := icmFor(t, mustGen(t, spec))
 		can := Canonical(ic).Volume()
 		l1, err := Lin1D(ic)
 		if err != nil {
@@ -144,4 +144,14 @@ func TestRejectsInvalidICM(t *testing.T) {
 	if _, err := Lin2D(bad); err == nil {
 		t.Fatal("invalid ICM accepted by Lin2D")
 	}
+}
+
+// mustGen generates a benchmark circuit, failing the test on error.
+func mustGen(tb testing.TB, spec qc.BenchmarkSpec) *qc.Circuit {
+	tb.Helper()
+	c, err := spec.Generate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
 }

@@ -30,9 +30,11 @@ package bridge
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/faults"
 	"repro/internal/modular"
 )
 
@@ -84,6 +86,16 @@ const maxCommonModules = 8
 // all merging and only generates the unbridged nets (the "w/o bridging"
 // ablation of Table V).
 func Run(nl *modular.Netlist, enabled bool) (*Result, error) {
+	return RunContext(context.Background(), nl, enabled)
+}
+
+// RunContext is Run with cooperative cancellation: the iterative merging
+// loop polls ctx between merge candidates and aborts with an error
+// wrapping faults.ErrCanceled.
+func RunContext(ctx context.Context, nl *modular.Netlist, enabled bool) (*Result, error) {
+	if err := faults.Canceled(ctx); err != nil {
+		return nil, fmt.Errorf("bridge: %w", err)
+	}
 	if err := nl.Validate(); err != nil {
 		return nil, fmt.Errorf("bridge: %w", err)
 	}
@@ -97,7 +109,9 @@ func Run(nl *modular.Netlist, enabled bool) (*Result, error) {
 	}
 
 	if enabled {
-		r.runIterativeBridging()
+		if err := r.runIterativeBridging(ctx); err != nil {
+			return nil, err
+		}
 	} else {
 		// Each loop is its own singleton structure.
 		for i := range nl.Loops {
@@ -148,13 +162,17 @@ func (q *loopPQ) Pop() any {
 	return it
 }
 
-// runIterativeBridging is Algorithm 1.
-func (r *Result) runIterativeBridging() {
+// runIterativeBridging is Algorithm 1. The context is polled between
+// merge candidates so cancellation aborts within one tryMerge.
+func (r *Result) runIterativeBridging(ctx context.Context) error {
 	nl := r.NL
 	processed := make([]bool, len(nl.Loops))
 	relatives := nl.RelativeLoops()
 
 	for seed := range nl.Loops {
+		if err := faults.Canceled(ctx); err != nil {
+			return fmt.Errorf("bridge: %w", err)
+		}
 		if processed[seed] {
 			continue
 		}
@@ -175,6 +193,9 @@ func (r *Result) runIterativeBridging() {
 		}
 
 		for q.Len() > 0 {
+			if err := faults.Canceled(ctx); err != nil {
+				return fmt.Errorf("bridge: %w", err)
+			}
 			le := heap.Pop(q).(pqItem).loop
 			if processed[le] || rejected[le] {
 				continue
@@ -203,6 +224,7 @@ func (r *Result) runIterativeBridging() {
 		}
 		r.Structures = append(r.Structures, st)
 	}
+	return nil
 }
 
 // commonModuleCount returns |modules(b) ∩ modules(le)|.

@@ -261,7 +261,7 @@ func TestBenchmarkScaleBridging(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nl := netlistFor(t, spec.Generate())
+	nl := netlistFor(t, mustGen(t, spec))
 	r, err := Run(nl, true)
 	if err != nil {
 		t.Fatal(err)
@@ -289,7 +289,7 @@ func TestQuickBridgingInvariants(t *testing.T) {
 			Toffolis: 1 + int(nt%4),
 			Seed:     seed,
 		}
-		r, err := decompose.Decompose(spec.Generate())
+		r, err := decompose.Decompose(mustGen(t, spec))
 		if err != nil {
 			return false
 		}
@@ -353,4 +353,14 @@ func TestQuickBridgingInvariants(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustGen generates a benchmark circuit, failing the test on error.
+func mustGen(tb testing.TB, spec qc.BenchmarkSpec) *qc.Circuit {
+	tb.Helper()
+	c, err := spec.Generate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
 }

@@ -46,7 +46,7 @@ func TestCanonicalVolumeIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := build(t, spec.Generate())
+	d := build(t, mustGen(t, spec))
 	w, h, depth := d.Dims()
 	wantLines := spec.Qubits + 41*spec.Toffolis
 	wantCNOTs := 54*spec.Toffolis + spec.CNOTs
@@ -150,7 +150,7 @@ func TestQuickPenetrations(t *testing.T) {
 			Toffolis: 1 + int(nt%6),
 			Seed:     seed,
 		}
-		r, err := decompose.Decompose(spec.Generate())
+		r, err := decompose.Decompose(mustGen(t, spec))
 		if err != nil {
 			return false
 		}
@@ -185,4 +185,14 @@ func TestQuickPenetrations(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustGen generates a benchmark circuit, failing the test on error.
+func mustGen(tb testing.TB, spec qc.BenchmarkSpec) *qc.Circuit {
+	tb.Helper()
+	c, err := spec.Generate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
 }

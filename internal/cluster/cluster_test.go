@@ -142,12 +142,12 @@ func TestPrimalGroupsReduceNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nlA := netlistFor(t, spec.Generate(), true)
+	nlA := netlistFor(t, mustGen(t, spec), true)
 	with, err := Build(nlA, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	nlB := netlistFor(t, spec.Generate(), true)
+	nlB := netlistFor(t, mustGen(t, spec), true)
 	without, err := Build(nlB, Options{PrimalGroups: false, MaxGroupSize: 6})
 	if err != nil {
 		t.Fatal(err)
@@ -165,7 +165,7 @@ func TestEveryModuleAssignedOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nl := netlistFor(t, spec.Generate(), true)
+	nl := netlistFor(t, mustGen(t, spec), true)
 	cl, err := Build(nl, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -258,7 +258,7 @@ func TestConferenceVsJournalAtScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nl := netlistFor(t, spec.Generate(), true)
+	nl := netlistFor(t, mustGen(t, spec), true)
 	cl, err := Build(nl, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -270,4 +270,14 @@ func TestConferenceVsJournalAtScale(t *testing.T) {
 	}
 	t.Logf("%s: %d modules → %d nodes (%.0f%%)", spec.Name, modules, nodes,
 		100*float64(nodes)/float64(modules))
+}
+
+// mustGen generates a benchmark circuit, failing the test on error.
+func mustGen(tb testing.TB, spec qc.BenchmarkSpec) *qc.Circuit {
+	tb.Helper()
+	c, err := spec.Generate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
 }

@@ -184,11 +184,12 @@ type Stats struct {
 	Paulis int // frame-tracked NOT/Z markers
 }
 
-// Count tallies the decomposed gate mix. It panics if the circuit still
-// contains a non-lowered gate kind, which would indicate a decomposer bug.
-func Count(c *qc.Circuit) Stats {
+// Count tallies the decomposed gate mix. A circuit still containing a
+// non-lowered gate kind (a decomposer bug, or a circuit that never went
+// through Decompose) is reported as an error instead of a panic.
+func Count(c *qc.Circuit) (Stats, error) {
 	var s Stats
-	for _, g := range c.Gates {
+	for i, g := range c.Gates {
 		switch g.Kind {
 		case qc.GateCNOT:
 			s.CNOTs++
@@ -201,8 +202,8 @@ func Count(c *qc.Circuit) Stats {
 		case qc.GateNOT:
 			s.Paulis++
 		default:
-			panic(fmt.Sprintf("decompose.Count: non-lowered gate %v", g))
+			return Stats{}, fmt.Errorf("decompose.Count: gate %d is non-lowered (%v)", i, g)
 		}
 	}
-	return s
+	return s, nil
 }

@@ -16,6 +16,15 @@ func lower(t *testing.T, c *qc.Circuit) *Result {
 	return r
 }
 
+func count(t *testing.T, c *qc.Circuit) Stats {
+	t.Helper()
+	s, err := Count(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestDecomposePassThrough(t *testing.T) {
 	c := qc.New("pass", 2)
 	c.Append(qc.CNOT(0, 1), qc.T(0), qc.P(1), qc.V(0), qc.Tdag(1))
@@ -34,7 +43,7 @@ func TestDecomposeToffoliComposition(t *testing.T) {
 	c := qc.New("tof", 3)
 	c.Append(qc.Toffoli(0, 1, 2))
 	r := lower(t, c)
-	s := Count(r.Circuit)
+	s := count(t, r.Circuit)
 	// Paper calibration: Toffoli → 6 CNOT, 7 T/T†, 2 H where each H = P·V·P.
 	if s.Ts != 7 {
 		t.Errorf("T count: %d want 7", s.Ts)
@@ -69,14 +78,14 @@ func TestDecomposeSwapFredkin(t *testing.T) {
 	c := qc.New("sf", 3)
 	c.Append(qc.Swap(0, 1))
 	r := lower(t, c)
-	if s := Count(r.Circuit); s.CNOTs != 3 || s.Ts != 0 {
+	if s := count(t, r.Circuit); s.CNOTs != 3 || s.Ts != 0 {
 		t.Fatalf("swap: %+v", s)
 	}
 
 	c2 := qc.New("fred", 3)
 	c2.Append(qc.Fredkin(0, 1, 2))
 	r2 := lower(t, c2)
-	s2 := Count(r2.Circuit)
+	s2 := count(t, r2.Circuit)
 	// Fredkin = CNOT · Toffoli · CNOT.
 	if s2.CNOTs != 8 || s2.Ts != 7 {
 		t.Fatalf("fredkin: %+v", s2)
@@ -87,7 +96,7 @@ func TestDecomposeControlledV(t *testing.T) {
 	c := qc.New("cv", 2)
 	c.Append(qc.Gate{Kind: qc.GateV, Controls: []int{0}, Targets: []int{1}})
 	r := lower(t, c)
-	s := Count(r.Circuit)
+	s := count(t, r.Circuit)
 	if s.CNOTs != 2 || s.Ts != 3 {
 		t.Fatalf("controlled-V: %+v", s)
 	}
@@ -107,7 +116,7 @@ func TestDecomposeMCT(t *testing.T) {
 	if r.AncillaQubits != 2 {
 		t.Fatalf("4-control MCT needs 2 ancillas, got %d", r.AncillaQubits)
 	}
-	s := Count(r.Circuit)
+	s := count(t, r.Circuit)
 	// 2(k−2)+1 = 5 Toffolis, each with 7 T gates.
 	if s.Ts != 5*7 {
 		t.Fatalf("MCT T count: %d want 35", s.Ts)
@@ -124,7 +133,7 @@ func TestDecomposeMCTThreeControls(t *testing.T) {
 	if r.AncillaQubits != 1 {
 		t.Fatalf("3-control MCT needs 1 ancilla, got %d", r.AncillaQubits)
 	}
-	if s := Count(r.Circuit); s.Ts != 3*7 {
+	if s := count(t, r.Circuit); s.Ts != 3*7 {
 		t.Fatalf("T count: %d want 21", s.Ts)
 	}
 }
@@ -133,7 +142,7 @@ func TestDecomposePauliFrame(t *testing.T) {
 	c := qc.New("pauli", 2)
 	c.Append(qc.NOT(0), qc.Gate{Kind: qc.GateZ, Targets: []int{1}})
 	r := lower(t, c)
-	if s := Count(r.Circuit); s.Paulis != 2 || s.CNOTs != 0 {
+	if s := count(t, r.Circuit); s.Paulis != 2 || s.CNOTs != 0 {
 		t.Fatalf("pauli frame: %+v", s)
 	}
 }
@@ -153,8 +162,12 @@ func TestDecomposeBenchmarkCalibration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := lower(t, spec.Generate())
-	s := Count(r.Circuit)
+	c, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := lower(t, c)
+	s := count(t, r.Circuit)
 	if s.Ts != 7*spec.Toffolis {
 		t.Fatalf("T gates: %d want %d", s.Ts, 7*spec.Toffolis)
 	}
@@ -178,7 +191,11 @@ func TestQuickDecomposeClosed(t *testing.T) {
 			NOTs:     int(nn % 20),
 			Seed:     seed,
 		}
-		r, err := Decompose(spec.Generate())
+		c, err := spec.Generate()
+		if err != nil {
+			return false
+		}
+		r, err := Decompose(c)
 		if err != nil {
 			return false
 		}

@@ -99,5 +99,9 @@ func TestCompositeCircuitEquivalence(t *testing.T) {
 func TestGeneratedBenchmarkEquivalence(t *testing.T) {
 	// A seeded 4-qubit generated workload, end to end.
 	spec := qc.BenchmarkSpec{Name: "equiv", Qubits: 4, Toffolis: 3, CNOTs: 2, NOTs: 2, Seed: 99}
-	checkEquivalent(t, spec.Generate())
+	c, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, c)
 }

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"repro/tqec"
+)
+
+// FaultPlan injects failures into a compilation, exercising the pipeline's
+// containment guarantees: panics become StageErrors with stacks, forced
+// errors are stage-tagged, cancellation aborts iterative loops, and
+// per-net routing failures trigger fallback routing or degradation.
+// The zero value injects nothing.
+type FaultPlan struct {
+	// PanicStage panics just before the named stage runs ("" = never).
+	// The panic itself is raised through Raise, which the fault-tolerance
+	// tests install (non-test builds contain no panic site); with Raise
+	// unset the plan degrades to a forced error at the same point.
+	PanicStage tqec.Stage
+	// Raise performs the PanicStage panic. Must not return normally.
+	Raise func(msg string)
+	// ErrorStage returns a forced error before the named stage.
+	ErrorStage tqec.Stage
+	// ErrorValue is the error ErrorStage injects (nil = a generic one).
+	ErrorValue error
+	// CancelStage cancels the compilation context just before the named
+	// stage, so the stage itself observes a dead context.
+	CancelStage tqec.Stage
+	// FailNets lists net IDs the router must treat as unroutable during
+	// normal negotiation (the whole-world fallback is exempt, so these
+	// nets exercise the degradation path rather than hard failure).
+	FailNets []int
+}
+
+// Install wires the plan into opts and returns the (possibly wrapped)
+// context the compilation must run under.
+func (f *FaultPlan) Install(ctx context.Context, opts *tqec.Options) context.Context {
+	if f == nil {
+		return ctx
+	}
+	var cancel context.CancelFunc
+	if f.CancelStage != "" {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	if len(f.FailNets) > 0 {
+		bad := make(map[int]bool, len(f.FailNets))
+		for _, id := range f.FailNets {
+			bad[id] = true
+		}
+		opts.Route.FailNet = func(id int) bool { return bad[id] }
+	}
+	prev := opts.Hooks.BeforeStage
+	opts.Hooks.BeforeStage = func(stage tqec.Stage) error {
+		if prev != nil {
+			if err := prev(stage); err != nil {
+				return err
+			}
+		}
+		if stage == f.PanicStage {
+			msg := fmt.Sprintf("harness: injected panic before stage %s", stage)
+			if f.Raise != nil {
+				f.Raise(msg)
+			}
+			return fmt.Errorf("%s (no Raise installed)", msg)
+		}
+		if stage == f.CancelStage && cancel != nil {
+			cancel()
+		}
+		if stage == f.ErrorStage {
+			if f.ErrorValue != nil {
+				return f.ErrorValue
+			}
+			return fmt.Errorf("harness: injected error before stage %s", stage)
+		}
+		return nil
+	}
+	return ctx
+}

@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/qc"
+	"repro/tqec"
+)
+
+// smallCircuit is the Fig. 4 motivating example: three CNOTs, enough to
+// exercise every pipeline stage in milliseconds.
+func smallCircuit() *qc.Circuit {
+	c := qc.New("fault-probe", 3)
+	c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2), qc.CNOT(0, 2))
+	return c
+}
+
+func raise(msg string) { panic(msg) }
+
+// An injected panic at any stage boundary must surface as a StageError
+// wrapping ErrPanic with the stage tag and a captured stack, never crash
+// the process, and leave the result nil.
+func TestInjectedPanicBecomesStageError(t *testing.T) {
+	for _, stage := range []tqec.Stage{
+		tqec.StagePreprocess, tqec.StageBridging, tqec.StagePlacement, tqec.StageRouting,
+	} {
+		t.Run(string(stage), func(t *testing.T) {
+			plan := &FaultPlan{PanicStage: stage, Raise: raise}
+			opts := tqec.FastOptions()
+			ctx := plan.Install(context.Background(), &opts)
+			res, err := tqec.CompileContext(ctx, smallCircuit(), opts)
+			if res != nil {
+				t.Fatalf("result should be nil, got %v", res)
+			}
+			se, ok := tqec.AsStageError(err)
+			if !ok {
+				t.Fatalf("want StageError, got %v", err)
+			}
+			if se.Stage != stage {
+				t.Fatalf("stage = %s, want %s", se.Stage, stage)
+			}
+			if !errors.Is(err, tqec.ErrPanic) {
+				t.Fatalf("want ErrPanic in chain, got %v", err)
+			}
+			if len(se.Stack) == 0 || !strings.Contains(string(se.Stack), "goroutine") {
+				t.Fatalf("want captured stack, got %q", se.Stack)
+			}
+		})
+	}
+}
+
+// A forced error before a stage must come back tagged with that stage and
+// preserve the injected error for errors.Is.
+func TestInjectedErrorIsStageTagged(t *testing.T) {
+	sentinel := errors.New("backend offline")
+	plan := &FaultPlan{ErrorStage: tqec.StagePlacement, ErrorValue: sentinel}
+	opts := tqec.FastOptions()
+	ctx := plan.Install(context.Background(), &opts)
+	res, err := tqec.CompileContext(ctx, smallCircuit(), opts)
+	if res != nil {
+		t.Fatal("result should be nil")
+	}
+	se, ok := tqec.AsStageError(err)
+	if !ok || se.Stage != tqec.StagePlacement {
+		t.Fatalf("want placement StageError, got %v", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("injected error lost from chain: %v", err)
+	}
+}
+
+// Cancellation injected at a stage boundary must abort that stage with
+// ErrCanceled and a nil result.
+func TestInjectedCancellationAbortsStage(t *testing.T) {
+	for _, stage := range []tqec.Stage{
+		tqec.StageBridging, tqec.StagePlacement, tqec.StageRouting,
+	} {
+		t.Run(string(stage), func(t *testing.T) {
+			plan := &FaultPlan{CancelStage: stage}
+			opts := tqec.FastOptions()
+			ctx := plan.Install(context.Background(), &opts)
+			res, err := tqec.CompileContext(ctx, smallCircuit(), opts)
+			if res != nil {
+				t.Fatal("result should be nil")
+			}
+			if !errors.Is(err, tqec.ErrCanceled) {
+				t.Fatalf("want ErrCanceled, got %v", err)
+			}
+			se, ok := tqec.AsStageError(err)
+			if !ok || se.Stage != stage {
+				t.Fatalf("want stage %s, got %v", stage, err)
+			}
+		})
+	}
+}
+
+// Forced per-net routing failures must be rescued by the whole-world
+// fallback: compilation succeeds but the result is flagged Degraded with
+// per-net diagnostics, the breakdown counts the fallbacks, and Verify
+// refuses to bless the result.
+func TestForcedNetFailuresDegradeGracefully(t *testing.T) {
+	plan := &FaultPlan{FailNets: []int{0, 1, 2, 3, 4, 5, 6, 7}}
+	opts := tqec.FastOptions()
+	ctx := plan.Install(context.Background(), &opts)
+	res, err := tqec.CompileContext(ctx, smallCircuit(), opts)
+	if err != nil {
+		t.Fatalf("degraded compile should succeed, got %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("result should be flagged Degraded")
+	}
+	if len(res.Routing.FallbackNets) == 0 {
+		t.Fatal("want fallback-routed nets")
+	}
+	if len(res.Routing.FailedNets) == 0 {
+		t.Fatal("want per-net diagnostics in FailedNets")
+	}
+	for _, f := range res.Routing.FailedNets {
+		if f.Reason == "" {
+			t.Fatalf("net %d: empty diagnostic reason", f.NetID)
+		}
+	}
+	if got := res.Breakdown.Counter(metrics.CounterFallbackNets); got == 0 {
+		t.Fatal("breakdown should count fallback nets")
+	}
+	if got := res.Breakdown.Counter(metrics.CounterDegradations); got != 1 {
+		t.Fatalf("degradations counter = %d, want 1", got)
+	}
+	if verr := res.Verify(); !errors.Is(verr, tqec.ErrDegraded) {
+		t.Fatalf("Verify must fail with ErrDegraded on degraded routing, got %v", verr)
+	}
+}
+
+// A PanicStage without an installed Raise degrades to a forced error (the
+// non-test build contains no panic site).
+func TestPanicStageWithoutRaiserIsError(t *testing.T) {
+	plan := &FaultPlan{PanicStage: tqec.StageBridging}
+	opts := tqec.FastOptions()
+	ctx := plan.Install(context.Background(), &opts)
+	_, err := tqec.CompileContext(ctx, smallCircuit(), opts)
+	se, ok := tqec.AsStageError(err)
+	if !ok || se.Stage != tqec.StageBridging {
+		t.Fatalf("want bridging StageError, got %v", err)
+	}
+	if errors.Is(err, tqec.ErrPanic) {
+		t.Fatalf("no panic should have been raised: %v", err)
+	}
+}
+
+// Config.Timeout must bound a harness run: an already-expired deadline
+// aborts compilation with ErrCanceled instead of wedging.
+func TestConfigTimeoutAborts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Benchmarks = cfg.Benchmarks[:1]
+	cfg.Ablations = false
+	cfg.Timeout = time.Nanosecond
+	_, err := Run(cfg)
+	if !errors.Is(err, tqec.ErrCanceled) {
+		t.Fatalf("want ErrCanceled from expired timeout, got %v", err)
+	}
+}

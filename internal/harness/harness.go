@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -32,6 +33,13 @@ type Config struct {
 	// Ablations enables the no-bridging and conference-version runs
 	// (needed by Tables III and V).
 	Ablations bool
+	// Timeout bounds each compilation (0 = none); expiry aborts the SA,
+	// negotiation and bridging loops and surfaces tqec.ErrCanceled.
+	Timeout time.Duration
+	// Faults optionally injects failures into each compilation (panics,
+	// forced stage errors, cancellation, per-net routing failures); used
+	// by the fault-tolerance tests.
+	Faults *FaultPlan
 }
 
 // DefaultConfig runs the two smallest benchmarks (the full suite takes the
@@ -96,8 +104,19 @@ func runOne(name string, cfg Config) (*Row, error) {
 	}
 	row := &Row{Name: name, Spec: spec}
 
+	ctx := context.Background()
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+
 	// Baselines share one ICM conversion.
-	d, err := decompose.Decompose(spec.Generate())
+	c, err := spec.Generate()
+	if err != nil {
+		return nil, err
+	}
+	d, err := decompose.Decompose(c)
 	if err != nil {
 		return nil, err
 	}
@@ -123,8 +142,11 @@ func runOne(name string, cfg Config) (*Row, error) {
 	opts := tqec.DefaultOptions()
 	opts.Place.Iterations = cfg.PlaceIterations
 	opts.Place.Seed = cfg.Seed
+	if cfg.Faults != nil {
+		ctx = cfg.Faults.Install(ctx, &opts)
+	}
 	start = time.Now()
-	if row.Ours, err = tqec.Compile(spec.Generate(), opts); err != nil {
+	if row.Ours, err = tqec.CompileContext(ctx, c, opts); err != nil {
 		return nil, err
 	}
 	row.OursTime = time.Since(start)
@@ -140,14 +162,14 @@ func runOne(name string, cfg Config) (*Row, error) {
 		nb.Place.Margin = 2
 		nb.Place.TierPitch = 4
 		start = time.Now()
-		if row.NoBridge, err = tqec.Compile(spec.Generate(), nb); err != nil {
+		if row.NoBridge, err = tqec.CompileContext(ctx, c, nb); err != nil {
 			return nil, err
 		}
 		row.NoBridgeTime = time.Since(start)
 
 		conf := opts
 		conf.PrimalGroups = false
-		if row.Conference, err = tqec.Compile(spec.Generate(), conf); err != nil {
+		if row.Conference, err = tqec.CompileContext(ctx, c, conf); err != nil {
 			return nil, err
 		}
 	}
@@ -341,7 +363,11 @@ func FigFriendNet(w io.Writer, name string, seed int64) error {
 	}
 	opts := tqec.DefaultOptions()
 	opts.Place.Seed = seed
-	res, err := tqec.Compile(spec.Generate(), opts)
+	c, err := spec.Generate()
+	if err != nil {
+		return err
+	}
+	res, err := tqec.Compile(c, opts)
 	if err != nil {
 		return err
 	}

@@ -128,7 +128,7 @@ func TestQuickCausalAcyclic(t *testing.T) {
 			Toffolis: 1 + int(nt%5),
 			Seed:     seed,
 		}
-		r, err := decompose.Decompose(spec.Generate())
+		r, err := decompose.Decompose(mustGen(t, spec))
 		if err != nil {
 			return false
 		}

@@ -200,7 +200,7 @@ func TestBenchmarkStatsIdentities(t *testing.T) {
 	// For every paper benchmark: #|A⟩ = 7·#Toffoli and the footprint
 	// identities of DESIGN.md hold exactly for the generated circuits.
 	for _, spec := range qc.Benchmarks {
-		r, err := decompose.Decompose(spec.Generate())
+		r, err := decompose.Decompose(mustGen(t, spec))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -240,7 +240,7 @@ func TestQuickConversionValid(t *testing.T) {
 			NOTs:     int(nn % 10),
 			Seed:     seed,
 		}
-		r, err := decompose.Decompose(spec.Generate())
+		r, err := decompose.Decompose(mustGen(t, spec))
 		if err != nil {
 			return false
 		}
@@ -267,4 +267,14 @@ func TestQuickConversionValid(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustGen generates a benchmark circuit, failing the test on error.
+func mustGen(tb testing.TB, spec qc.BenchmarkSpec) *qc.Circuit {
+	tb.Helper()
+	c, err := spec.Generate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
 }

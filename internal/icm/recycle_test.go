@@ -70,7 +70,7 @@ func TestRecycleShrinksBenchmarks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := decompose.Decompose(spec.Generate())
+	d, err := decompose.Decompose(mustGen(t, spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestQuickRecycleProper(t *testing.T) {
 			Toffolis: 1 + int(nt%5),
 			Seed:     seed,
 		}
-		d, err := decompose.Decompose(spec.Generate())
+		d, err := decompose.Decompose(mustGen(t, spec))
 		if err != nil {
 			return false
 		}

@@ -16,15 +16,31 @@ const (
 	StageRouting   = "dual-defect net routing"
 )
 
-// Breakdown accumulates wall-clock time per pipeline stage.
+// Counter names used by the fault-tolerant pipeline.
+const (
+	CounterPlacementRetries = "placement retries"
+	CounterFallbackNets     = "fallback-routed nets"
+	CounterUnroutedNets     = "unrouted nets"
+	CounterDegradations     = "degraded stages"
+	CounterRecoveredPanics  = "recovered panics"
+)
+
+// Breakdown accumulates wall-clock time per pipeline stage plus event
+// counters (retries, degradations, recovered panics).
 type Breakdown struct {
 	durations map[string]time.Duration
 	order     []string
+
+	counters     map[string]int
+	counterOrder []string
 }
 
 // NewBreakdown returns an empty breakdown.
 func NewBreakdown() *Breakdown {
-	return &Breakdown{durations: map[string]time.Duration{}}
+	return &Breakdown{
+		durations: map[string]time.Duration{},
+		counters:  map[string]int{},
+	}
 }
 
 // Time runs f and charges its wall time to the stage.
@@ -66,7 +82,24 @@ func (b *Breakdown) Ratio(stage string) float64 {
 // Stages returns the stage names in first-charge order.
 func (b *Breakdown) Stages() []string { return append([]string(nil), b.order...) }
 
-// String renders a Table-VI style row set.
+// Count adds delta to the named event counter.
+func (b *Breakdown) Count(name string, delta int) {
+	if _, ok := b.counters[name]; !ok {
+		b.counterOrder = append(b.counterOrder, name)
+	}
+	b.counters[name] += delta
+}
+
+// Counter returns the accumulated count of the named event.
+func (b *Breakdown) Counter(name string) int { return b.counters[name] }
+
+// Counters returns the event counter names in first-count order.
+func (b *Breakdown) Counters() []string {
+	return append([]string(nil), b.counterOrder...)
+}
+
+// String renders a Table-VI style row set, followed by any non-zero event
+// counters.
 func (b *Breakdown) String() string {
 	stages := b.Stages()
 	sort.Strings(stages)
@@ -75,6 +108,13 @@ func (b *Breakdown) String() string {
 		s += fmt.Sprintf("%-24s %10.3fs %6.2f%%\n", st, b.Get(st).Seconds(), b.Ratio(st))
 	}
 	s += fmt.Sprintf("%-24s %10.3fs\n", "total", b.Total().Seconds())
+	counters := b.Counters()
+	sort.Strings(counters)
+	for _, c := range counters {
+		if n := b.counters[c]; n != 0 {
+			s += fmt.Sprintf("%-24s %10d\n", c, n)
+		}
+	}
 	return s
 }
 

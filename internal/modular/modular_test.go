@@ -231,7 +231,7 @@ func TestBenchmarkScaleModularization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := decompose.Decompose(spec.Generate())
+	r, err := decompose.Decompose(mustGen(t, spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +268,7 @@ func TestQuickModularizationInvariants(t *testing.T) {
 			NOTs:     int(nn % 5),
 			Seed:     seed,
 		}
-		r, err := decompose.Decompose(spec.Generate())
+		r, err := decompose.Decompose(mustGen(t, spec))
 		if err != nil {
 			return false
 		}
@@ -301,4 +301,14 @@ func TestQuickModularizationInvariants(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustGen generates a benchmark circuit, failing the test on error.
+func mustGen(tb testing.TB, spec qc.BenchmarkSpec) *qc.Circuit {
+	tb.Helper()
+	c, err := spec.Generate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
 }

@@ -20,6 +20,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -28,8 +29,13 @@ import (
 	"repro/internal/bridge"
 	"repro/internal/bstar"
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/geom"
 )
+
+// cancelCheckInterval bounds how many SA moves may elapse between context
+// checks: a deadline aborts the annealing loop within this many moves.
+const cancelCheckInterval = 64
 
 // DefaultTierPitch is the default z distance between consecutive tier
 // bases: two cells of module body plus one shared inter-tier routing plane
@@ -99,12 +105,22 @@ type Placement struct {
 // Run places the clustering's super-modules. With Restarts > 1 it anneals
 // that many independent chains in parallel and returns the best.
 func Run(cl *cluster.Clustering, nets []bridge.Net, opts Options) (*Placement, error) {
+	return RunContext(context.Background(), cl, nets, opts)
+}
+
+// RunContext is Run with cooperative cancellation: the SA loop checks ctx
+// every cancelCheckInterval moves and aborts with an error wrapping
+// faults.ErrCanceled when the deadline passes or the context is canceled.
+func RunContext(ctx context.Context, cl *cluster.Clustering, nets []bridge.Net, opts Options) (*Placement, error) {
 	if len(cl.Supers) == 0 {
 		return nil, fmt.Errorf("place: nothing to place")
 	}
+	if err := faults.Canceled(ctx); err != nil {
+		return nil, fmt.Errorf("place: %w", err)
+	}
 	restarts := opts.Restarts
 	if restarts < 2 {
-		return runOnce(cl, nets, opts)
+		return runOnce(ctx, cl, nets, opts)
 	}
 	type outcome struct {
 		p   *Placement
@@ -115,29 +131,45 @@ func Run(cl *cluster.Clustering, nets []bridge.Net, opts Options) (*Placement, e
 		o := opts
 		o.Seed = opts.Seed + int64(k)
 		go func(o Options) {
-			p, err := runOnce(cl, nets, o)
+			// A panic in a restart chain must not crash the process: the
+			// pipeline's recover guard only covers the calling goroutine.
+			defer func() {
+				if r := recover(); r != nil {
+					results <- outcome{err: fmt.Errorf("place: %w: restart chain: %v", faults.ErrPanic, r)}
+				}
+			}()
+			p, err := runOnce(ctx, cl, nets, o)
 			results <- outcome{p: p, err: err}
 		}(o)
 	}
 	var best *Placement
+	var firstErr error
 	for k := 0; k < restarts; k++ {
 		r := <-results
 		if r.err != nil {
-			return nil, r.err
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
 		}
 		if best == nil || r.p.Cost < best.Cost {
 			best = r.p
 		}
 	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	return best, nil
 }
 
-func runOnce(cl *cluster.Clustering, nets []bridge.Net, opts Options) (*Placement, error) {
+func runOnce(ctx context.Context, cl *cluster.Clustering, nets []bridge.Net, opts Options) (*Placement, error) {
 	e, err := newEngine(cl, nets, opts)
 	if err != nil {
 		return nil, err
 	}
-	e.anneal()
+	if err := e.anneal(ctx); err != nil {
+		return nil, err
+	}
 	return e.extract(), nil
 }
 
@@ -177,13 +209,22 @@ type netRef struct {
 	la, lb geom.Point
 }
 
+// EffectiveIterations returns the SA move budget Run will use for n blocks:
+// the configured budget, or the automatic 200-moves-per-block rule when
+// Iterations is 0. Retry escalation uses it to grow the budget from the
+// auto-derived baseline.
+func (o Options) EffectiveIterations(n int) int {
+	if o.Iterations > 0 {
+		return o.Iterations
+	}
+	return 200 * n
+}
+
 func newEngine(cl *cluster.Clustering, nets []bridge.Net, opts Options) (*engine, error) {
 	if opts.Iterations < 0 {
 		return nil, fmt.Errorf("place: negative iterations")
 	}
-	if opts.Iterations == 0 {
-		opts.Iterations = 200 * len(cl.Supers)
-	}
+	opts.Iterations = opts.EffectiveIterations(len(cl.Supers))
 	if opts.InitialTemp <= 0 {
 		opts.InitialTemp = 0.05
 	}
@@ -205,7 +246,9 @@ func newEngine(cl *cluster.Clustering, nets []bridge.Net, opts Options) (*engine
 	}
 	e.resizeTSLs()
 	e.buildBlocks()
-	e.assignTiers()
+	if err := e.assignTiers(); err != nil {
+		return nil, err
+	}
 	e.buildPinMap()
 	v, _, l := e.evaluateRaw()
 	e.vnorm = math.Max(1, float64(v))
@@ -257,7 +300,7 @@ func (e *engine) buildBlocks() {
 // assignTiers distributes supers over the derived tier count, balancing
 // area, and builds one shelf-shaped B*-tree per tier (rows of roughly the
 // tier's target width, which gives the SA a compact warm start).
-func (e *engine) assignTiers() {
+func (e *engine) assignTiers() error {
 	area := 0
 	for _, b := range e.blocks {
 		area += b.W * b.H
@@ -298,25 +341,32 @@ func (e *engine) assignTiers() {
 	targetW := int(math.Sqrt(float64(area)/float64(n))) + 1
 	e.trees = make([]*bstar.Tree, n)
 	for t := range e.trees {
-		e.trees[t] = e.shelfTree(members[t], targetW)
+		tr, err := e.shelfTree(members[t], targetW)
+		if err != nil {
+			return fmt.Errorf("place: tier %d: %w: %w", t, faults.ErrInvariant, err)
+		}
+		e.trees[t] = tr
 	}
 	e.tierW = make([]int, n)
 	e.tierH = make([]int, n)
 	for t := range e.trees {
 		e.tierW[t], e.tierH[t] = e.trees[t].Pack()
 	}
+	return nil
 }
 
 // shelfTree builds a B*-tree whose packing approximates row-major shelves
 // of the target width: rows are chains of left children; each new row
-// hangs as the right child of the previous row's first block.
-func (e *engine) shelfTree(members []int, targetW int) *bstar.Tree {
+// hangs as the right child of the previous row's first block. Insert
+// failures (impossible on a fresh tree, but guarded) are returned, not
+// panicked.
+func (e *engine) shelfTree(members []int, targetW int) (*bstar.Tree, error) {
 	tr := bstar.NewTree(e.blocks, nil)
 	if len(members) == 0 {
-		return tr
+		return tr, nil
 	}
 	if err := tr.Insert(members[0], -1, true); err != nil {
-		panic(err)
+		return nil, err
 	}
 	rowStartNode := 0
 	prevNode := 0
@@ -326,20 +376,20 @@ func (e *engine) shelfTree(members []int, targetW int) *bstar.Tree {
 		if rowWidth+w > targetW {
 			// New row above the current row's first block.
 			if err := tr.Insert(b, rowStartNode, false); err != nil {
-				panic(err)
+				return nil, err
 			}
 			rowStartNode = tr.NodeOfLastInsert()
 			prevNode = rowStartNode
 			rowWidth = w
 		} else {
 			if err := tr.Insert(b, prevNode, true); err != nil {
-				panic(err)
+				return nil, err
 			}
 			prevNode = tr.NodeOfLastInsert()
 			rowWidth += w
 		}
 	}
-	return tr
+	return tr, nil
 }
 
 func (e *engine) buildPinMap() {
@@ -532,8 +582,9 @@ func (e *engine) perturb() *move {
 }
 
 // anneal runs the SA loop with a geometric cooling schedule, tracking the
-// best forest seen.
-func (e *engine) anneal() {
+// best forest seen. The context is checked every cancelCheckInterval moves
+// so a deadline aborts within a bounded number of perturbations.
+func (e *engine) anneal(ctx context.Context) error {
 	cur := e.cost()
 	e.bestTrees, e.bestTierOf = e.snapshot()
 	e.bestCost = cur
@@ -543,6 +594,11 @@ func (e *engine) anneal() {
 	temp := t0
 	sinceBest := 0
 	for it := 0; it < n; it++ {
+		if it%cancelCheckInterval == 0 {
+			if err := faults.Canceled(ctx); err != nil {
+				return fmt.Errorf("place: SA aborted after %d/%d moves: %w", it, n, err)
+			}
+		}
 		mv := e.perturb()
 		if mv == nil {
 			continue
@@ -577,6 +633,7 @@ func (e *engine) anneal() {
 		temp *= decay
 	}
 	e.restoreBest()
+	return nil
 }
 
 func (e *engine) snapshot() ([]*bstar.Tree, []int) {

@@ -109,7 +109,7 @@ func TestSAImprovesOrMatchesInitialCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, nets := pipeline(t, spec.Generate())
+	cl, nets := pipeline(t, mustGen(t, spec))
 
 	e0, err := newEngine(cl, nets, quickOpts(0))
 	if err != nil {
@@ -178,7 +178,7 @@ func TestTierAssignmentConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, nets := pipeline(t, spec.Generate())
+	cl, nets := pipeline(t, mustGen(t, spec))
 	p, err := Run(cl, nets, quickOpts(100))
 	if err != nil {
 		t.Fatal(err)
@@ -199,7 +199,7 @@ func TestRestartsPickBest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, nets := pipeline(t, spec.Generate())
+	cl, nets := pipeline(t, mustGen(t, spec))
 	single, err := Run(cl, nets, quickOpts(300))
 	if err != nil {
 		t.Fatal(err)
@@ -235,13 +235,13 @@ func TestTierPitchOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl3, nets3 := pipeline(t, spec.Generate())
+	cl3, nets3 := pipeline(t, mustGen(t, spec))
 	o3 := quickOpts(100)
 	p3, err := Run(cl3, nets3, o3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl4, nets4 := pipeline(t, spec.Generate())
+	cl4, nets4 := pipeline(t, mustGen(t, spec))
 	o4 := quickOpts(100)
 	o4.TierPitch = 4
 	p4, err := Run(cl4, nets4, o4)
@@ -279,7 +279,7 @@ func TestMarginSeparatesBodies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, nets := pipeline(t, spec.Generate())
+	cl, nets := pipeline(t, mustGen(t, spec))
 	o := quickOpts(100)
 	o.Margin = 2
 	p, err := Run(cl, nets, o)
@@ -307,7 +307,7 @@ func TestAspectRatioPressure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, nets := pipeline(t, spec.Generate())
+	cl, nets := pipeline(t, mustGen(t, spec))
 	o := quickOpts(300)
 	o.Gamma = 2.0
 	p, err := Run(cl, nets, o)
@@ -319,4 +319,14 @@ func TestAspectRatioPressure(t *testing.T) {
 	if r > 4.0 || r < 0.05 {
 		t.Fatalf("aspect ratio %0.2f wildly off target 0.5", r)
 	}
+}
+
+// mustGen generates a benchmark circuit, failing the test on error.
+func mustGen(tb testing.TB, spec qc.BenchmarkSpec) *qc.Circuit {
+	tb.Helper()
+	c, err := spec.Generate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
 }

@@ -49,11 +49,36 @@ func BenchmarkByName(name string) (BenchmarkSpec, error) {
 	return BenchmarkSpec{}, fmt.Errorf("unknown benchmark %q", name)
 }
 
+// Validate checks that the spec's gate mix is realizable on its qubit
+// count (a Toffoli needs 3 distinct operands, a CNOT 2, a NOT 1).
+func (s BenchmarkSpec) Validate() error {
+	need := 0
+	switch {
+	case s.Toffolis > 0:
+		need = 3
+	case s.CNOTs > 0:
+		need = 2
+	case s.NOTs > 0:
+		need = 1
+	}
+	if s.Qubits < need {
+		return fmt.Errorf("benchmark %q: gate mix needs %d qubits, spec has %d", s.Name, need, s.Qubits)
+	}
+	if s.Toffolis < 0 || s.CNOTs < 0 || s.NOTs < 0 {
+		return fmt.Errorf("benchmark %q: negative gate count", s.Name)
+	}
+	return nil
+}
+
 // Generate builds a deterministic reversible circuit with the spec's gate
 // mix. Gate kinds are interleaved pseudo-randomly (seeded) and operands are
 // drawn uniformly without repetition within a gate, mimicking the control/
-// target diversity of the original RevLib netlists.
-func (s BenchmarkSpec) Generate() *Circuit {
+// target diversity of the original RevLib netlists. An unrealizable spec
+// (e.g. Toffolis on fewer than 3 qubits) is rejected with an error.
+func (s BenchmarkSpec) Generate() (*Circuit, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(s.Seed))
 	c := New(s.Name, s.Qubits)
 	// Build the multiset of gate kinds, then shuffle for interleaving.
@@ -71,22 +96,28 @@ func (s BenchmarkSpec) Generate() *Circuit {
 	for _, k := range kinds {
 		switch k {
 		case GateToffoli:
-			q := pickDistinct(rng, s.Qubits, 3)
+			q, err := pickDistinct(rng, s.Qubits, 3)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %q: %w", s.Name, err)
+			}
 			c.Append(Toffoli(q[0], q[1], q[2]))
 		case GateCNOT:
-			q := pickDistinct(rng, s.Qubits, 2)
+			q, err := pickDistinct(rng, s.Qubits, 2)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %q: %w", s.Name, err)
+			}
 			c.Append(CNOT(q[0], q[1]))
 		default:
 			c.Append(NOT(rng.Intn(s.Qubits)))
 		}
 	}
-	return c
+	return c, nil
 }
 
-// pickDistinct draws k distinct values from [0,n). Requires k ≤ n.
-func pickDistinct(rng *rand.Rand, n, k int) []int {
-	if k > n {
-		panic(fmt.Sprintf("pickDistinct: k=%d > n=%d", k, n))
+// pickDistinct draws k distinct values from [0,n); k > n is rejected.
+func pickDistinct(rng *rand.Rand, n, k int) ([]int, error) {
+	if k > n || n <= 0 {
+		return nil, fmt.Errorf("pickDistinct: cannot draw %d distinct values from [0,%d)", k, n)
 	}
 	picked := map[int]bool{}
 	out := make([]int, 0, k)
@@ -97,5 +128,5 @@ func pickDistinct(rng *rand.Rand, n, k int) []int {
 			out = append(out, v)
 		}
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,59 @@
+package qc
+
+import "testing"
+
+// FuzzBenchmarkGenerate drives benchmark circuit construction with
+// arbitrary specs: Generate must either reject the spec with an error
+// (never a panic) or return a circuit that validates and matches the
+// declared gate counts. The committed corpus under
+// testdata/fuzz/FuzzBenchmarkGenerate pins the interesting boundaries
+// (too few qubits for a Toffoli, negative counts, zero-gate specs), so a
+// plain `go test` replays them as regression inputs.
+func FuzzBenchmarkGenerate(f *testing.F) {
+	f.Add(5, 10, 10, 5, int64(1))   // ordinary mixed benchmark
+	f.Add(2, 1, 0, 0, int64(7))     // Toffoli needs 3 distinct qubits
+	f.Add(0, 0, 0, 1, int64(0))     // no qubits at all
+	f.Add(-3, -1, -1, -1, int64(2)) // negative everything
+	f.Add(1, 0, 1, 0, int64(9))     // CNOT needs 2 distinct qubits
+	f.Fuzz(func(t *testing.T, qubits, toffolis, cnots, nots int, seed int64) {
+		// Bound sizes so the fuzzer explores validity boundaries rather
+		// than allocation limits; negatives pass through untouched to
+		// exercise the rejection path.
+		if qubits > 64 {
+			qubits %= 64
+		}
+		if toffolis > 512 {
+			toffolis %= 512
+		}
+		if cnots > 512 {
+			cnots %= 512
+		}
+		if nots > 512 {
+			nots %= 512
+		}
+		spec := BenchmarkSpec{
+			Name:     "fuzz",
+			Qubits:   qubits,
+			Toffolis: toffolis,
+			CNOTs:    cnots,
+			NOTs:     nots,
+			Seed:     seed,
+		}
+		c, err := spec.Generate()
+		if err != nil {
+			if spec.Validate() == nil {
+				t.Fatalf("Generate failed on a spec Validate accepts: %v", err)
+			}
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("generated circuit invalid: %v", verr)
+		}
+		if c.NumGates() != spec.Gates() {
+			t.Fatalf("gate count %d, want %d", c.NumGates(), spec.Gates())
+		}
+		if c.NumQubits() != spec.Qubits {
+			t.Fatalf("qubit count %d, want %d", c.NumQubits(), spec.Qubits)
+		}
+	})
+}

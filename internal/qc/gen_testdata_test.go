@@ -20,7 +20,11 @@ func TestGenerateTestdata(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := WriteReal(f, s.Generate()); err != nil {
+		c, err := s.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteReal(f, c); err != nil {
 			t.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -43,7 +47,10 @@ func TestParseRealFixtures(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
-		want := s.Generate()
+		want, err := s.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if parsed.NumQubits() != want.NumQubits() || parsed.NumGates() != want.NumGates() {
 			t.Fatalf("%s: shape %d/%d want %d/%d", s.Name,
 				parsed.NumQubits(), parsed.NumGates(), want.NumQubits(), want.NumGates())

@@ -238,8 +238,8 @@ func TestBenchmarkByName(t *testing.T) {
 
 func TestGenerateDeterministicAndValid(t *testing.T) {
 	for _, s := range Benchmarks {
-		c1 := s.Generate()
-		c2 := s.Generate()
+		c1 := mustGen(t, s)
+		c2 := mustGen(t, s)
 		if err := c1.Validate(); err != nil {
 			t.Fatalf("%s: %v", s.Name, err)
 		}
@@ -274,8 +274,8 @@ func TestQuickGenerate(t *testing.T) {
 			NOTs:     int(nn % 40),
 			Seed:     seed,
 		}
-		c := spec.Generate()
-		return c.Validate() == nil && c.NumGates() == spec.Gates()
+		c, err := spec.Generate()
+		return err == nil && c.Validate() == nil && c.NumGates() == spec.Gates()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
@@ -316,4 +316,14 @@ func TestHistogramAndTCount(t *testing.T) {
 	if c.TCount() != 3 {
 		t.Fatalf("T count: %d", c.TCount())
 	}
+}
+
+// mustGen generates a benchmark circuit, failing the test on error.
+func mustGen(tb testing.TB, spec BenchmarkSpec) *Circuit {
+	tb.Helper()
+	c, err := spec.Generate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
 }

@@ -17,7 +17,7 @@ func TestRouteProbe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl := placed(t, spec.Generate(), true, 0)
+	pl := placed(t, mustGen(t, spec), true, 0)
 	start := time.Now()
 	res, err := Run(pl, DefaultOptions())
 	if err != nil {

@@ -10,14 +10,20 @@ package route
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/bridge"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/place"
 	"repro/internal/rtree"
 )
+
+// cancelCheckExpansions bounds how many A* expansions may elapse between
+// context checks inside one search.
+const cancelCheckExpansions = 2048
 
 // Options configures the router.
 type Options struct {
@@ -36,6 +42,15 @@ type Options struct {
 	FriendNets bool
 	// MaxExpansions caps A* node expansions per attempt (safety valve).
 	MaxExpansions int
+	// Fallback enables graceful degradation: nets abandoned by the
+	// negotiation rounds are rescued by a last-resort route over the
+	// whole expanded world (larger volume, but connected). Rescued nets
+	// set Result.Degraded and are listed in Result.FallbackNets.
+	Fallback bool
+	// FailNet, when non-nil, forces the listed nets to fail their normal
+	// routing attempts (fault injection for degradation tests). Fallback
+	// rescue attempts are not affected.
+	FailNet func(id int) bool
 }
 
 // DefaultOptions returns the standard configuration. The expansion and
@@ -49,15 +64,44 @@ func DefaultOptions() Options {
 		HistoryWeight: 1.5,
 		FriendNets:    true,
 		MaxExpansions: 60000,
+		Fallback:      true,
 	}
+}
+
+// FailedNet diagnoses one net that exhausted the negotiation rounds.
+type FailedNet struct {
+	// NetID is the net's ID.
+	NetID int
+	// PinA and PinB are the net's (rehomed) pin cells.
+	PinA, PinB geom.Point
+	// Manhattan is the pin-to-pin Manhattan distance.
+	Manhattan int
+	// Attempts counts routing attempts (first pass included).
+	Attempts int
+	// LastMargin is the search-region margin of the final attempt.
+	LastMargin int
+	// Fallback reports whether the net was rescued by fallback routing.
+	Fallback bool
+	// Reason describes the outcome.
+	Reason string
 }
 
 // Result is the routing outcome.
 type Result struct {
 	// Routes maps net ID to its routed path (endpoints inclusive).
 	Routes map[int]geom.Path
-	// Failed lists net IDs that could not be routed.
+	// Failed lists net IDs that could not be routed at all (fallback
+	// included, when enabled).
 	Failed []int
+	// FailedNets carries per-net diagnostics for every net that
+	// exhausted the negotiation rounds, whether or not the fallback
+	// rescued it.
+	FailedNets []FailedNet
+	// FallbackNets lists net IDs routed by the degraded fallback.
+	FallbackNets []int
+	// Degraded reports that the result is usable but below full
+	// quality: at least one net is fallback-routed or unrouted.
+	Degraded bool
 	// FirstPassRouted counts nets routed in the first iteration
 	// (the paper reports 85-95%).
 	FirstPassRouted int
@@ -87,6 +131,14 @@ type router struct {
 	p    *place.Placement
 	nets []bridge.Net
 	opts Options
+
+	// ctx and ctxErr implement cooperative cancellation: every routing
+	// loop and the A* inner loop poll checkCtx and unwind when it trips.
+	ctx    context.Context
+	ctxErr error
+	// inFallback marks the degraded rescue phase (disables FailNet
+	// injection so forced failures can be rescued).
+	inFallback bool
 
 	static *rtree.Tree // module bodies and distillation boxes
 	// staticCells rasterizes the static obstacles for O(1) per-cell
@@ -118,16 +170,27 @@ type router struct {
 
 // Run routes all nets of the placement.
 func Run(p *place.Placement, opts Options) (*Result, error) {
+	return RunContext(context.Background(), p, opts)
+}
+
+// RunContext is Run with cooperative cancellation: the routing rounds and
+// the A* inner loop poll ctx, so a deadline aborts within a bounded number
+// of expansions and returns an error wrapping faults.ErrCanceled.
+func RunContext(ctx context.Context, p *place.Placement, opts Options) (*Result, error) {
 	if opts.MaxIterations < 0 {
 		return nil, fmt.Errorf("route: negative iterations")
 	}
 	if opts.MaxExpansions <= 0 {
 		opts.MaxExpansions = 200000
 	}
+	if err := faults.Canceled(ctx); err != nil {
+		return nil, fmt.Errorf("route: %w", err)
+	}
 	r := &router{
 		p:           p,
 		nets:        p.Nets,
 		opts:        opts,
+		ctx:         ctx,
 		static:      rtree.New(),
 		staticCells: map[geom.Point]bool{},
 		pinCell:     map[int]geom.Point{},
@@ -143,8 +206,24 @@ func Run(p *place.Placement, opts Options) (*Result, error) {
 		return nil, err
 	}
 	r.route()
+	if r.ctxErr != nil {
+		return nil, fmt.Errorf("route: %w", r.ctxErr)
+	}
 	r.finish()
 	return r.result, nil
+}
+
+// checkCtx polls the context, caching the first cancellation error. It
+// reports true when the router should unwind.
+func (r *router) checkCtx() bool {
+	if r.ctxErr != nil {
+		return true
+	}
+	if err := faults.Canceled(r.ctx); err != nil {
+		r.ctxErr = err
+		return true
+	}
+	return false
 }
 
 // build populates obstacles, pin cells and friend groups.
@@ -265,6 +344,9 @@ func (r *router) route() {
 
 	var failed []int
 	for _, idx := range order {
+		if r.checkCtx() {
+			return
+		}
 		if r.tryRoute(r.nets[idx], margin[idx]) {
 			r.result.FirstPassRouted++
 		} else {
@@ -284,6 +366,9 @@ func (r *router) route() {
 		r.result.Iterations++
 		var still []int
 		for _, idx := range failed {
+			if r.checkCtx() {
+				return
+			}
 			if attempts[idx] >= r.opts.MaxIterations {
 				abandoned = append(abandoned, idx)
 				continue
@@ -326,11 +411,60 @@ func (r *router) route() {
 		failed = dedupInts(still)
 	}
 	failed = append(failed, abandoned...)
+	var exhausted []int
 	for _, idx := range dedupInts(failed) {
 		if _, routed := r.routes[r.nets[idx].ID]; !routed {
-			r.result.Failed = append(r.result.Failed, r.nets[idx].ID)
+			exhausted = append(exhausted, idx)
 		}
 	}
+	sort.Ints(exhausted)
+	r.degrade(exhausted, attempts, margin)
+}
+
+// degrade handles the nets left unrouted after the negotiation rounds:
+// it records per-net diagnostics and, when enabled, attempts a
+// last-resort fallback route over the whole expanded world. Any net the
+// fallback rescues marks the result Degraded; any net it cannot rescue
+// additionally lands in Failed.
+func (r *router) degrade(exhausted []int, attempts, margin []int) {
+	if len(exhausted) == 0 {
+		return
+	}
+	// A margin this large makes searchRegion degenerate to the full
+	// world (searchRegion clamps against it).
+	worldMargin := r.world.Dx() + r.world.Dy() + r.world.Dz()
+	for _, idx := range exhausted {
+		if r.checkCtx() {
+			return
+		}
+		n := r.nets[idx]
+		fn := FailedNet{
+			NetID:      n.ID,
+			PinA:       r.pinCell[n.PinA],
+			PinB:       r.pinCell[n.PinB],
+			Manhattan:  r.netDist(n),
+			Attempts:   attempts[idx] + 1,
+			LastMargin: margin[idx],
+		}
+		if r.opts.Fallback {
+			r.inFallback = true
+			ok := r.tryRoute(n, worldMargin)
+			r.inFallback = false
+			if ok {
+				fn.Fallback = true
+				fn.Reason = "negotiation exhausted; rescued by whole-world fallback route"
+				r.result.FallbackNets = append(r.result.FallbackNets, n.ID)
+				r.result.FailedNets = append(r.result.FailedNets, fn)
+				continue
+			}
+			fn.Reason = "unroutable: negotiation and whole-world fallback both exhausted"
+		} else {
+			fn.Reason = "negotiation exhausted (fallback disabled)"
+		}
+		r.result.Failed = append(r.result.Failed, n.ID)
+		r.result.FailedNets = append(r.result.FailedNets, fn)
+	}
+	r.result.Degraded = len(r.result.FallbackNets) > 0 || len(r.result.Failed) > 0
 }
 
 func dedupInts(xs []int) []int {
@@ -414,6 +548,12 @@ func (r *router) endpointSets(n bridge.Net) (starts, targets map[geom.Point]bool
 func (r *router) tryRoute(n bridge.Net, margin int) bool {
 	if _, done := r.routes[n.ID]; done {
 		return true
+	}
+	// Fault injection: force this net's normal attempts to fail so
+	// degradation paths can be exercised under test. The fallback rescue
+	// phase is exempt.
+	if r.opts.FailNet != nil && !r.inFallback && r.opts.FailNet(n.ID) {
+		return false
 	}
 	starts, targets := r.endpointSets(n)
 	// Degenerate: a start cell that is already a target (friend paths
@@ -518,6 +658,11 @@ func (r *router) astar(n bridge.Net, starts, targets map[geom.Point]bool, region
 
 	// A region can never yield more useful expansions than it has cells.
 	maxExp := r.opts.MaxExpansions
+	if r.inFallback {
+		// The rescue pass searches the whole world; give it more room
+		// (still bounded so enclosed pins cannot wedge the router).
+		maxExp *= 8
+	}
 	if v := region.Volume(); v < maxExp {
 		maxExp = v
 	}
@@ -571,6 +716,9 @@ func (r *router) astar(n bridge.Net, starts, targets map[geom.Point]bool, region
 		if expansions > maxExp {
 			return nil
 		}
+		if expansions%cancelCheckExpansions == 0 && r.checkCtx() {
+			return nil
+		}
 		for _, d := range geom.Dirs6 {
 			next := cur.cell.Step(d)
 			if !region.Contains(next) || inPath[next] {
@@ -613,8 +761,27 @@ func (r *router) finish() {
 
 // Verify checks that every routed path is connected, collision-free
 // against module bodies/boxes, and does not overlap other nets except at
-// shared friend cells (path endpoints).
+// shared friend cells (path endpoints). A result with unrouted nets fails
+// with an error wrapping faults.ErrUnroutable; a degraded (fallback-
+// routed) result fails with an error wrapping faults.ErrDegraded, so a
+// degraded routing can never verify silently.
 func Verify(p *place.Placement, res *Result) error {
+	if err := verifyStructure(p, res); err != nil {
+		return err
+	}
+	if len(res.Failed) > 0 {
+		return fmt.Errorf("route: %w: %d nets unrouted: %v", faults.ErrUnroutable, len(res.Failed), res.Failed)
+	}
+	if res.Degraded || len(res.FallbackNets) > 0 {
+		return fmt.Errorf("route: %w: %d fallback-routed nets: %v",
+			faults.ErrDegraded, len(res.FallbackNets), res.FallbackNets)
+	}
+	return nil
+}
+
+// verifyStructure runs the structural path checks shared by strict and
+// degraded verification.
+func verifyStructure(p *place.Placement, res *Result) error {
 	static := rtree.New()
 	for m := range p.Clust.NL.Modules {
 		static.Insert(p.ModuleBox(m), -1)

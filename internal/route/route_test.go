@@ -1,12 +1,14 @@
 package route
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/bridge"
 	"repro/internal/canonical"
 	"repro/internal/cluster"
 	"repro/internal/decompose"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/icm"
 	"repro/internal/modular"
@@ -189,7 +191,7 @@ func TestRouteBenchmarkScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl := placed(t, spec.Generate(), true, 500)
+	pl := placed(t, mustGen(t, spec), true, 500)
 	res, err := Run(pl, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -215,7 +217,7 @@ func TestPinCellsUniqueAfterHoming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl := placed(t, spec.Generate(), true, 0)
+	pl := placed(t, mustGen(t, spec), true, 0)
 	res, err := Run(pl, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -235,7 +237,7 @@ func TestRipUpBudgetBoundsWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl := placed(t, spec.Generate(), true, 0)
+	pl := placed(t, mustGen(t, spec), true, 0)
 	res, err := Run(pl, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -264,4 +266,54 @@ func TestBlockedDetection(t *testing.T) {
 		}
 	}
 	_ = geom.Pt(0, 0, 0)
+}
+
+// mustGen generates a benchmark circuit, failing the test on error.
+func mustGen(tb testing.TB, spec qc.BenchmarkSpec) *qc.Circuit {
+	tb.Helper()
+	c, err := spec.Generate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+// Verify must refuse degraded results: forced net failures either land in
+// FallbackNets (fallback on, ErrDegraded) or Failed (fallback off,
+// ErrUnroutable) — in neither case may Verify pass silently.
+func TestVerifyRejectsDegradedRouting(t *testing.T) {
+	c := qc.New("degraded", 3)
+	c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2), qc.CNOT(0, 2))
+	pl := placed(t, c, true, 150)
+
+	opts := DefaultOptions()
+	opts.FailNet = func(int) bool { return true }
+	res, err := Run(pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || len(res.FallbackNets) == 0 {
+		t.Fatalf("want fallback-degraded result, got degraded=%v fallback=%d failed=%d",
+			res.Degraded, len(res.FallbackNets), len(res.Failed))
+	}
+	if err := Verify(pl, res); !errors.Is(err, faults.ErrDegraded) {
+		t.Fatalf("want ErrDegraded from Verify, got %v", err)
+	}
+
+	opts.Fallback = false
+	res, err = Run(pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || len(res.Failed) == 0 {
+		t.Fatalf("want unrouted nets, got degraded=%v failed=%d", res.Degraded, len(res.Failed))
+	}
+	for _, f := range res.FailedNets {
+		if f.Reason == "" || f.Manhattan <= 0 {
+			t.Fatalf("net %d: incomplete diagnostics: %+v", f.NetID, f)
+		}
+	}
+	if err := Verify(pl, res); !errors.Is(err, faults.ErrUnroutable) {
+		t.Fatalf("want ErrUnroutable from Verify, got %v", err)
+	}
 }

@@ -24,22 +24,29 @@ type State struct {
 	amp []complex128
 }
 
-// NewState returns |0...0⟩ on n qubits.
-func NewState(n int) *State {
+// NewState returns |0...0⟩ on n qubits. Qubit counts outside [1,20] are
+// rejected (the dense vector would not fit in memory).
+func NewState(n int) (*State, error) {
 	if n < 1 || n > 20 {
-		panic(fmt.Sprintf("sim: unsupported qubit count %d", n))
+		return nil, fmt.Errorf("sim: unsupported qubit count %d", n)
 	}
 	s := &State{n: n, amp: make([]complex128, 1<<n)}
 	s.amp[0] = 1
-	return s
+	return s, nil
 }
 
 // Basis returns the computational basis state |k⟩ on n qubits.
-func Basis(n, k int) *State {
-	s := NewState(n)
+func Basis(n, k int) (*State, error) {
+	s, err := NewState(n)
+	if err != nil {
+		return nil, err
+	}
+	if k < 0 || k >= 1<<n {
+		return nil, fmt.Errorf("sim: basis index %d out of range for %d qubits", k, n)
+	}
 	s.amp[0] = 0
 	s.amp[k] = 1
-	return s
+	return s, nil
 }
 
 // Qubits returns the qubit count.
@@ -236,11 +243,17 @@ func EquivalentOnCleanAncillas(n, ancStart int, c1, c2 *qc.Circuit) (bool, error
 		if k&ancMask != 0 {
 			continue
 		}
-		s1 := Basis(n, k)
+		s1, err := Basis(n, k)
+		if err != nil {
+			return false, err
+		}
 		if err := s1.Run(c1); err != nil {
 			return false, err
 		}
-		s2 := Basis(n, k)
+		s2, err := Basis(n, k)
+		if err != nil {
+			return false, err
+		}
 		if err := s2.Run(c2); err != nil {
 			return false, err
 		}

@@ -16,8 +16,37 @@ func apply(t *testing.T, s *State, g qc.Gate) {
 	}
 }
 
+func newState(t *testing.T, n int) *State {
+	t.Helper()
+	s, err := NewState(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func basis(t *testing.T, n, k int) *State {
+	t.Helper()
+	s, err := Basis(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewStateRejectsBadQubitCount(t *testing.T) {
+	for _, n := range []int{0, -1, 21} {
+		if _, err := NewState(n); err == nil {
+			t.Fatalf("qubit count %d accepted", n)
+		}
+	}
+	if _, err := Basis(2, 4); err == nil {
+		t.Fatal("out-of-range basis index accepted")
+	}
+}
+
 func TestNOTFlipsBasis(t *testing.T) {
-	s := NewState(2)
+	s := newState(t, 2)
 	apply(t, s, qc.NOT(0))
 	// Qubit 0 is the MSB: |00⟩ → |10⟩ = index 2.
 	if cmplx.Abs(s.Amplitude(2)-1) > 1e-12 {
@@ -28,7 +57,7 @@ func TestNOTFlipsBasis(t *testing.T) {
 func TestCNOTTruthTable(t *testing.T) {
 	want := map[int]int{0: 0, 1: 1, 2: 3, 3: 2} // control = qubit 0
 	for in, out := range want {
-		s := Basis(2, in)
+		s := basis(t, 2, in)
 		apply(t, s, qc.CNOT(0, 1))
 		if cmplx.Abs(s.Amplitude(out)-1) > 1e-12 {
 			t.Fatalf("CNOT|%02b⟩: %v", in, s.amp)
@@ -38,7 +67,7 @@ func TestCNOTTruthTable(t *testing.T) {
 
 func TestToffoliTruthTable(t *testing.T) {
 	for in := 0; in < 8; in++ {
-		s := Basis(3, in)
+		s := basis(t, 3, in)
 		apply(t, s, qc.Toffoli(0, 1, 2))
 		out := in
 		if in&0b110 == 0b110 {
@@ -51,18 +80,18 @@ func TestToffoliTruthTable(t *testing.T) {
 }
 
 func TestSwapAndFredkin(t *testing.T) {
-	s := Basis(2, 0b10)
+	s := basis(t, 2, 0b10)
 	apply(t, s, qc.Swap(0, 1))
 	if cmplx.Abs(s.Amplitude(0b01)-1) > 1e-12 {
 		t.Fatal("swap failed")
 	}
 	// Fredkin swaps only when control set.
-	s2 := Basis(3, 0b110)
+	s2 := basis(t, 3, 0b110)
 	apply(t, s2, qc.Fredkin(0, 1, 2))
 	if cmplx.Abs(s2.Amplitude(0b101)-1) > 1e-12 {
 		t.Fatal("controlled swap (on) failed")
 	}
-	s3 := Basis(3, 0b010)
+	s3 := basis(t, 3, 0b010)
 	apply(t, s3, qc.Fredkin(0, 1, 2))
 	if cmplx.Abs(s3.Amplitude(0b010)-1) > 1e-12 {
 		t.Fatal("controlled swap (off) should be identity")
@@ -70,7 +99,7 @@ func TestSwapAndFredkin(t *testing.T) {
 }
 
 func TestHadamardSelfInverse(t *testing.T) {
-	s := NewState(1)
+	s := newState(t, 1)
 	apply(t, s, qc.H(0))
 	if math.Abs(cmplx.Abs(s.Amplitude(0))-1/math.Sqrt2) > 1e-12 {
 		t.Fatal("H|0⟩ amplitude wrong")
@@ -83,10 +112,10 @@ func TestHadamardSelfInverse(t *testing.T) {
 
 func TestPhaseAlgebra(t *testing.T) {
 	// T·T = P, P·P = Z on |1⟩.
-	one := Basis(1, 1)
+	one := basis(t, 1, 1)
 	apply(t, one, qc.T(0))
 	apply(t, one, qc.T(0))
-	p := Basis(1, 1)
+	p := basis(t, 1, 1)
 	apply(t, p, qc.P(0))
 	if cmplx.Abs(one.Amplitude(1)-p.Amplitude(1)) > 1e-12 {
 		t.Fatal("T² ≠ P")
@@ -96,7 +125,7 @@ func TestPhaseAlgebra(t *testing.T) {
 		t.Fatal("P² ≠ Z")
 	}
 	// T·T† = I.
-	s := Basis(1, 1)
+	s := basis(t, 1, 1)
 	apply(t, s, qc.T(0))
 	apply(t, s, qc.Tdag(0))
 	if cmplx.Abs(s.Amplitude(1)-1) > 1e-12 {
@@ -106,7 +135,7 @@ func TestPhaseAlgebra(t *testing.T) {
 
 func TestVSquaredIsX(t *testing.T) {
 	for in := 0; in < 2; in++ {
-		s := Basis(1, in)
+		s := basis(t, 1, in)
 		apply(t, s, qc.V(0))
 		apply(t, s, qc.V(0))
 		if cmplx.Abs(s.Amplitude(1-in)-1) > 1e-9 {
@@ -114,7 +143,7 @@ func TestVSquaredIsX(t *testing.T) {
 		}
 	}
 	// V·V† = I.
-	s := Basis(1, 1)
+	s := basis(t, 1, 1)
 	apply(t, s, qc.V(0))
 	apply(t, s, qc.Gate{Kind: qc.GateVdag, Targets: []int{0}})
 	if cmplx.Abs(s.Amplitude(1)-1) > 1e-9 {
@@ -123,12 +152,12 @@ func TestVSquaredIsX(t *testing.T) {
 }
 
 func TestFidelityUpToPhase(t *testing.T) {
-	a := Basis(1, 0)
-	b := Basis(1, 0)
+	a := basis(t, 1, 0)
+	b := basis(t, 1, 0)
 	// Multiply b by a global phase via Z on |0⟩... Z|0⟩ = |0⟩; use T on
 	// |1⟩ states instead.
-	a1 := Basis(1, 1)
-	b1 := Basis(1, 1)
+	a1 := basis(t, 1, 1)
+	b1 := basis(t, 1, 1)
 	apply(t, b1, qc.T(0))
 	if f := FidelityUpToPhase(a1, b1); math.Abs(f-1) > 1e-12 {
 		t.Fatalf("phase should not affect fidelity: %f", f)
@@ -142,7 +171,7 @@ func TestFidelityUpToPhase(t *testing.T) {
 func TestNormPreserved(t *testing.T) {
 	c := qc.New("n", 3)
 	c.Append(qc.H(0), qc.CNOT(0, 1), qc.T(1), qc.V(2), qc.Toffoli(0, 1, 2), qc.P(0))
-	s := NewState(3)
+	s := newState(t, 3)
 	if err := s.Run(c); err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +185,7 @@ func TestNormPreserved(t *testing.T) {
 }
 
 func TestRejectsOutOfRange(t *testing.T) {
-	s := NewState(2)
+	s := newState(t, 2)
 	if err := s.Apply(qc.CNOT(0, 5)); err == nil {
 		t.Fatal("out-of-range gate accepted")
 	}
@@ -173,7 +202,7 @@ func TestQuickUnitarity(t *testing.T) {
 		{Kind: qc.GateV, Controls: []int{0}, Targets: []int{2}},
 	}
 	f := func(re, im [8]int8) bool {
-		s := NewState(3)
+		s := newState(t, 3)
 		var norm float64
 		for k := 0; k < 8; k++ {
 			s.amp[k] = complex(float64(re[k]), float64(im[k]))
@@ -216,13 +245,13 @@ func TestQuickInverses(t *testing.T) {
 		{qc.Swap(0, 1), qc.Swap(0, 1)},
 	}
 	f := func(k uint8) bool {
-		basis := int(k % 8)
+		idx := int(k % 8)
 		for _, p := range pairs {
-			s := Basis(3, basis)
+			s := basis(t, 3, idx)
 			if s.Apply(p[0]) != nil || s.Apply(p[1]) != nil {
 				return false
 			}
-			if cmplx.Abs(s.Amplitude(basis)-1) > 1e-9 {
+			if cmplx.Abs(s.Amplitude(idx)-1) > 1e-9 {
 				return false
 			}
 		}

@@ -13,16 +13,34 @@
 // the final dimensions, volume and per-stage runtime breakdown; the
 // Options toggles reproduce the paper's ablations (bridging on/off for
 // Table V, primal-group clustering on/off for Table III).
+//
+// # Fault tolerance
+//
+// CompileContext/CompileICMContext propagate a context.Context into every
+// iterative stage (SA placement, A* negotiation, bridging), so deadlines
+// and cancellation abort the pipeline within a bounded number of loop
+// iterations. Failures come back as *StageError values tagging the stage
+// that failed; errors.Is against the sentinel taxonomy (ErrCanceled,
+// ErrUnroutable, ErrPlacementInvalid, ErrDegraded, ErrPanic) classifies
+// the cause. Residual panics anywhere in a stage are recovered and
+// converted into a StageError carrying the goroutine stack. Placement
+// validation failures are retried with derived seeds and an escalated SA
+// budget (Options.Retry); routing failures degrade gracefully into
+// per-net diagnostics and an optional whole-world fallback route
+// (Result.Degraded, Routing.FailedNets) instead of aborting compilation.
 package tqec
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
 	"repro/internal/bridge"
 	"repro/internal/canonical"
 	"repro/internal/cluster"
 	"repro/internal/decompose"
 	"repro/internal/distill"
+	"repro/internal/faults"
 	"repro/internal/icm"
 	"repro/internal/metrics"
 	"repro/internal/modular"
@@ -30,6 +48,26 @@ import (
 	"repro/internal/qc"
 	"repro/internal/route"
 )
+
+// Retry configures the staged retry-with-escalation policy applied when a
+// placement fails structural validation (overlap or time-ordering).
+type Retry struct {
+	// MaxAttempts is the total number of placement attempts, including
+	// the first. Values below 1 mean a single attempt (no retries).
+	MaxAttempts int
+	// Escalation multiplies the SA iteration budget on each retry
+	// (attempt k runs with base·Escalation^k moves). Values at or below
+	// 1 fall back to 2.
+	Escalation float64
+}
+
+// Hooks lets callers observe or perturb the pipeline. The harness uses
+// BeforeStage for fault injection (forced errors, panics, cancellation).
+type Hooks struct {
+	// BeforeStage runs before each stage; a non-nil return aborts the
+	// pipeline with that error tagged by the stage.
+	BeforeStage func(stage Stage) error
+}
 
 // Options configures a compilation.
 type Options struct {
@@ -50,6 +88,14 @@ type Options struct {
 	// module (fusing stretches of the primal loop across idle slots).
 	// 0 or 1 reproduces the paper's dual-only bridging.
 	PrimalGap int
+	// StrictRouting turns residual routing failures (nets unroutable
+	// even by the whole-world fallback) into an ErrUnroutable
+	// compilation error instead of a degraded result.
+	StrictRouting bool
+	// Retry governs placement retry-with-escalation.
+	Retry Retry
+	// Hooks are observation/fault-injection callbacks.
+	Hooks Hooks
 	// Place configures the SA placement engine.
 	Place place.Options
 	// Route configures the dual-defect net router.
@@ -63,6 +109,7 @@ func DefaultOptions() Options {
 		Bridging:     true,
 		PrimalGroups: true,
 		MaxGroupSize: 6,
+		Retry:        Retry{MaxAttempts: 3, Escalation: 2},
 		Place:        place.DefaultOptions(),
 		Route:        route.DefaultOptions(),
 	}
@@ -103,7 +150,14 @@ type Result struct {
 	// Vol_|A⟩ of Table I), used when comparing against baselines that do
 	// not integrate boxes.
 	BoxVolume int
-	// Breakdown is the per-stage wall-clock breakdown (Table VI).
+	// PlacementAttempts is how many SA placements ran (1 + retries).
+	PlacementAttempts int
+	// Degraded reports that routing fell back to degraded operation:
+	// some nets needed the whole-world fallback router or remain
+	// unrouted (see Routing.FailedNets for per-net diagnostics).
+	Degraded bool
+	// Breakdown is the per-stage wall-clock breakdown (Table VI), plus
+	// fault-tolerance event counters (retries, fallbacks, panics).
 	Breakdown *metrics.Breakdown
 }
 
@@ -118,87 +172,198 @@ func (r *Result) CompressionRatio() float64 {
 
 // Compile runs the full compression flow on a reversible/quantum circuit.
 func Compile(c *qc.Circuit, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), c, opts)
+}
+
+// CompileContext is Compile with cancellation: ctx deadlines and cancels
+// abort the SA, negotiation and bridging loops within a bounded number of
+// iterations, returning a StageError wrapping ErrCanceled.
+func CompileContext(ctx context.Context, c *qc.Circuit, opts Options) (*Result, error) {
 	res := &Result{Circuit: c, Breakdown: metrics.NewBreakdown()}
-	var err error
-	res.Breakdown.Time(metrics.StageOther, func() {
-		var d *decompose.Result
-		if d, err = decompose.Decompose(c); err != nil {
-			return
+	err := runStage(res.Breakdown, metrics.StageOther, StagePreprocess, opts.Hooks, func() error {
+		if err := faults.Canceled(ctx); err != nil {
+			return err
+		}
+		d, err := decompose.Decompose(c)
+		if err != nil {
+			return err
 		}
 		res.Decomposed = d.Circuit
 		res.ICM, err = icm.FromDecomposed(res.Decomposed)
+		return err
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tqec: preprocess: %w", err)
+		return nil, err
 	}
-	return compileFrom(res, opts)
+	return compileFrom(ctx, res, opts)
 }
 
 // CompileICM runs the flow on a circuit already in ICM form (e.g. the
 // state distillation circuits of package distill, the workloads Fowler &
 // Devitt compressed by hand).
 func CompileICM(ic *icm.Circuit, opts Options) (*Result, error) {
+	return CompileICMContext(context.Background(), ic, opts)
+}
+
+// CompileICMContext is CompileICM with cancellation (see CompileContext).
+func CompileICMContext(ctx context.Context, ic *icm.Circuit, opts Options) (*Result, error) {
 	res := &Result{ICM: ic, Breakdown: metrics.NewBreakdown()}
-	return compileFrom(res, opts)
+	return compileFrom(ctx, res, opts)
+}
+
+// runStage executes one pipeline stage under the fault-containment guard:
+// the Hooks.BeforeStage callback fires first, fn's wall-clock is charged
+// to the breakdown stage mStage, any panic is recovered into a StageError
+// wrapping ErrPanic with the stack attached, and plain errors are tagged
+// with the stage and normalized for the cancellation sentinel.
+func runStage(b *metrics.Breakdown, mStage string, stage Stage, hooks Hooks, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.Count(metrics.CounterRecoveredPanics, 1)
+			err = &StageError{
+				Stage: stage,
+				Err:   fmt.Errorf("%w: %v", ErrPanic, r),
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+	if hooks.BeforeStage != nil {
+		if herr := hooks.BeforeStage(stage); herr != nil {
+			return stageError(stage, herr)
+		}
+	}
+	var inner error
+	b.Time(mStage, func() { inner = fn() })
+	if inner != nil {
+		return stageError(stage, inner)
+	}
+	return nil
 }
 
 // compileFrom continues the pipeline after res.ICM is set.
-func compileFrom(res *Result, opts Options) (*Result, error) {
-	var err error
+func compileFrom(ctx context.Context, res *Result, opts Options) (*Result, error) {
 	// Canonical description and modularization (charged to "other" per
 	// Table VI).
-	res.Breakdown.Time(metrics.StageOther, func() {
+	err := runStage(res.Breakdown, metrics.StageOther, StagePreprocess, opts.Hooks, func() error {
+		if err := faults.Canceled(ctx); err != nil {
+			return err
+		}
+		var err error
 		if res.Canonical, err = canonical.Build(res.ICM); err != nil {
-			return
+			return err
 		}
 		gap := opts.PrimalGap
 		if gap < 1 {
 			gap = 1
 		}
 		res.Netlist, err = modular.BuildWithGap(res.Canonical, gap)
+		return err
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tqec: preprocess: %w", err)
+		return nil, err
 	}
 	stats := res.ICM.Stats()
 	res.CanonicalVolume = res.Canonical.Volume()
 	res.BoxVolume = distill.BoxVolume(stats.NumY, stats.NumA)
 
-	res.Breakdown.Time(metrics.StageBridging, func() {
-		res.Bridging, err = bridge.Run(res.Netlist, opts.Bridging)
+	err = runStage(res.Breakdown, metrics.StageBridging, StageBridging, opts.Hooks, func() error {
+		var err error
+		res.Bridging, err = bridge.RunContext(ctx, res.Netlist, opts.Bridging)
+		return err
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tqec: bridging: %w", err)
+		return nil, err
 	}
 
-	res.Breakdown.Time(metrics.StagePlacement, func() {
-		var cl *cluster.Clustering
-		cl, err = cluster.Build(res.Netlist, cluster.Options{
+	err = runStage(res.Breakdown, metrics.StagePlacement, StagePlacement, opts.Hooks, func() error {
+		cl, err := cluster.Build(res.Netlist, cluster.Options{
 			PrimalGroups: opts.PrimalGroups,
 			MaxGroupSize: opts.MaxGroupSize,
 			NoBoxes:      opts.NoBoxes,
 		})
 		if err != nil {
-			return
+			return err
 		}
 		res.Clustering = cl
-		res.Placement, err = place.Run(cl, res.Bridging.Nets, opts.Place)
+		return res.placeWithRetry(ctx, cl, opts)
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tqec: placement: %w", err)
+		return nil, err
 	}
 
-	res.Breakdown.Time(metrics.StageRouting, func() {
-		res.Routing, err = route.Run(res.Placement, opts.Route)
+	err = runStage(res.Breakdown, metrics.StageRouting, StageRouting, opts.Hooks, func() error {
+		var err error
+		res.Routing, err = route.RunContext(ctx, res.Placement, opts.Route)
+		if err != nil {
+			return err
+		}
+		res.Degraded = res.Routing.Degraded
+		if n := len(res.Routing.FallbackNets); n > 0 {
+			res.Breakdown.Count(metrics.CounterFallbackNets, n)
+		}
+		if n := len(res.Routing.Failed); n > 0 {
+			res.Breakdown.Count(metrics.CounterUnroutedNets, n)
+			if opts.StrictRouting {
+				return fmt.Errorf("%w: %d net(s) failed negotiation and fallback", faults.ErrUnroutable, n)
+			}
+		}
+		if res.Degraded {
+			res.Breakdown.Count(metrics.CounterDegradations, 1)
+		}
+		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tqec: routing: %w", err)
+		return nil, err
 	}
 
 	b := res.Routing.Bounds
 	res.Dims = metrics.Dims{W: b.Dy(), H: b.Dz(), D: b.Dx()}
 	res.Volume = res.Dims.Volume()
 	return res, nil
+}
+
+// placeWithRetry runs SA placement, re-validating the result and retrying
+// with a derived seed and an escalated iteration budget when validation
+// fails. Hard errors (cancellation, recovered restart panics) are not
+// retried.
+func (res *Result) placeWithRetry(ctx context.Context, cl *cluster.Clustering, opts Options) error {
+	attempts := opts.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	esc := opts.Retry.Escalation
+	if esc <= 1 {
+		esc = 2
+	}
+	popts := opts.Place
+	budget := popts.EffectiveIterations(len(cl.Supers))
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			// Derived seed + escalated budget: a fresh SA trajectory
+			// with more moves, reproducible from the original seed.
+			popts.Seed = opts.Place.Seed + 1000003*int64(attempt)
+			budget = int(float64(budget) * esc)
+			popts.Iterations = budget
+			res.Breakdown.Count(metrics.CounterPlacementRetries, 1)
+		}
+		pl, err := place.RunContext(ctx, cl, res.Bridging.Nets, popts)
+		if err != nil {
+			return err
+		}
+		res.Placement = pl
+		res.PlacementAttempts = attempt + 1
+		if err := pl.CheckNoOverlap(); err != nil {
+			lastErr = err
+			continue
+		}
+		if err := pl.CheckTimeOrdering(); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("%w after %d attempt(s): %w", faults.ErrPlacementInvalid, attempts, lastErr)
 }
 
 // CompileBenchmark generates one of the paper's RevLib benchmarks and
@@ -208,13 +373,19 @@ func CompileBenchmark(name string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Compile(spec.Generate(), opts)
+	c, err := spec.Generate()
+	if err != nil {
+		return nil, err
+	}
+	return Compile(c, opts)
 }
 
 // Verify re-checks the result's structural guarantees: placement overlap
-// freedom, time-ordering constraints, and routing legality. It is meant
-// for tests and examples; Compile's stages already maintain these
-// invariants.
+// freedom, time-ordering constraints, and routing legality. Degraded
+// routing (fallback-routed or unrouted nets) fails verification with
+// ErrDegraded/ErrUnroutable so a silently-degraded result cannot pass.
+// It is meant for tests and examples; Compile's stages already maintain
+// these invariants.
 func (r *Result) Verify() error {
 	if err := r.Netlist.Validate(); err != nil {
 		return err

@@ -93,7 +93,11 @@ func TestAblationsChangeBehavior(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return spec.Generate()
+		c, err := spec.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
 	}
 	// Auto SA budget: a starved placement makes the unbridged ablation's
 	// routing pathologically slow.
@@ -197,13 +201,13 @@ func TestPrimalGapOption(t *testing.T) {
 	}
 	base := FastOptions()
 	base.Place.Seed = 4
-	r1, err := Compile(spec.Generate(), base)
+	r1, err := Compile(mustGen(t, spec), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	gapped := base
 	gapped.PrimalGap = 3
-	r2, err := Compile(spec.Generate(), gapped)
+	r2, err := Compile(mustGen(t, spec), gapped)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,4 +232,14 @@ func TestCompileRejectsInvalidCircuit(t *testing.T) {
 	if _, err := Compile(c, FastOptions()); err == nil {
 		t.Fatal("invalid circuit accepted")
 	}
+}
+
+// mustGen generates a benchmark circuit, failing the test on error.
+func mustGen(tb testing.TB, spec qc.BenchmarkSpec) *qc.Circuit {
+	tb.Helper()
+	c, err := spec.Generate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
 }
