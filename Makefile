@@ -1,9 +1,10 @@
-# Build/verify entry points. `make ci` is the full gate: vet, build,
-# race-enabled tests, and a replay of the committed fuzz corpora.
+# Build/verify entry points. `make ci` is the full gate: vet, the
+# repo-specific tqeclint analyzers, build, race-enabled tests, and a
+# replay of the committed fuzz corpora.
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-seeds bench ci
+.PHONY: all build vet lint test race fuzz-seeds bench ci
 
 all: build
 
@@ -12,6 +13,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Run the in-tree static analyzers (internal/lint) over the whole module.
+# Exits non-zero on any finding; see DESIGN.md for the enforced invariants.
+lint:
+	$(GO) run ./cmd/tqeclint ./...
 
 test:
 	$(GO) test ./...
@@ -26,4 +32,4 @@ fuzz-seeds:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-ci: vet build race fuzz-seeds
+ci: vet lint build race fuzz-seeds

@@ -78,24 +78,28 @@ func main() {
 		fatal(err)
 	}
 	printed := false
-	show := func(n int, f func()) {
+	show := func(n int, f func() error) {
 		if *all || *table == n {
 			if printed {
 				fmt.Fprintln(out)
 			}
-			f()
+			if err := f(); err != nil {
+				fatal(err)
+			}
 			printed = true
 		}
 	}
-	show(1, func() { harness.Table1(out, rows) })
-	show(2, func() { harness.Table2(out, rows) })
-	show(3, func() { harness.Table3(out, rows) })
-	show(4, func() { harness.Table4(out, rows) })
-	show(5, func() { harness.Table5(out, rows) })
-	show(6, func() { harness.Table6(out, rows) })
+	show(1, func() error { return harness.Table1(out, rows) })
+	show(2, func() error { return harness.Table2(out, rows) })
+	show(3, func() error { return harness.Table3(out, rows) })
+	show(4, func() error { return harness.Table4(out, rows) })
+	show(5, func() error { return harness.Table5(out, rows) })
+	show(6, func() error { return harness.Table6(out, rows) })
 	if *all {
 		fmt.Fprintln(out)
-		harness.Summary(out, rows)
+		if err := harness.Summary(out, rows); err != nil {
+			fatal(err)
+		}
 	}
 }
 
@@ -108,7 +112,9 @@ func figures(which string, all bool, seed int64, cfg harness.Config) error {
 		fmt.Fprintln(out)
 	}
 	if all || which == "boxes" {
-		harness.FigBoxes(out)
+		if err := harness.FigBoxes(out); err != nil {
+			return err
+		}
 		fmt.Fprintln(out)
 	}
 	if all || which == "friendnet" {

@@ -1,0 +1,77 @@
+// Command tqeclint runs the repo's static-analysis passes (internal/lint)
+// over the given package patterns and reports findings as
+//
+//	file:line:col: [analyzer] message
+//
+// exiting 1 when anything is found and 2 on load errors. It is wired into
+// `make lint` (and thus `make ci`); the self-check test in internal/lint
+// keeps the CLI and CI in lockstep.
+//
+// Usage:
+//
+//	tqeclint [-json] [-list] [-C dir] [packages ...]
+//
+// With no patterns it analyzes ./... . -json emits the findings as a JSON
+// array for tooling; -list prints the analyzer registry.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	dir := flag.String("C", ".", "directory to resolve package patterns from")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tqeclint [-json] [-list] [-C dir] [packages ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	pkgs, err := lint.LoadPackages(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tqeclint:", err)
+		os.Exit(2)
+	}
+	findings := lint.RunAnalyzers(pkgs, lint.Analyzers())
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "tqeclint:", err)
+			os.Exit(2)
+		}
+	} else {
+		cwd, err := os.Getwd()
+		if err != nil {
+			cwd = ""
+		}
+		for _, f := range findings {
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, f.File); err == nil {
+					f.File = rel
+				}
+			}
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

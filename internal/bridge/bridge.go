@@ -86,6 +86,7 @@ const maxCommonModules = 8
 // all merging and only generates the unbridged nets (the "w/o bridging"
 // ablation of Table V).
 func Run(nl *modular.Netlist, enabled bool) (*Result, error) {
+	//lint:ignore ctxflow sanctioned no-context entry point; RunContext is the threaded variant
 	return RunContext(context.Background(), nl, enabled)
 }
 

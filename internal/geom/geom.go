@@ -82,6 +82,16 @@ func (p Point) Manhattan(q Point) int {
 	return abs(p.X-q.X) + abs(p.Y-q.Y) + abs(p.Z-q.Z)
 }
 
+// MaxPoint returns the componentwise maximum of p and q.
+func MaxPoint(p, q Point) Point {
+	return Point{max(p.X, q.X), max(p.Y, q.Y), max(p.Z, q.Z)}
+}
+
+// MinPoint returns the componentwise minimum of p and q.
+func MinPoint(p, q Point) Point {
+	return Point{min(p.X, q.X), min(p.Y, q.Y), min(p.Z, q.Z)}
+}
+
 // String formats the point as "(x,y,z)".
 func (p Point) String() string { return fmt.Sprintf("(%d,%d,%d)", p.X, p.Y, p.Z) }
 

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -49,13 +50,12 @@ func TestRunProducesCompleteRow(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	Table1(&buf, rows)
-	Table2(&buf, rows)
-	Table3(&buf, rows)
-	Table4(&buf, rows)
-	Table5(&buf, rows)
-	Table6(&buf, rows)
-	Summary(&buf, rows)
+	tables := []func(io.Writer, []*Row) error{Table1, Table2, Table3, Table4, Table5, Table6, Summary}
+	for i, table := range tables {
+		if err := table(&buf, rows); err != nil {
+			t.Fatalf("table %d: %v", i+1, err)
+		}
+	}
 	out := buf.String()
 	for _, want := range []string{"Table I", "Table II", "Table III", "Table IV",
 		"Table V", "Table VI", "4gt10-v1_81", "Headline"} {

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the context-threading discipline PR 1 introduced: every
+// stage accepts a context.Context as its first parameter and forwards it.
+//
+//   - A context.Context parameter must come first in the signature.
+//   - context.Background()/context.TODO() are banned outside main packages
+//     and tests: a library mints no root contexts. Sanctioned no-context
+//     entry points (route.Run and friends) carry an explicit
+//     //lint:ignore ctxflow directive.
+//   - A function that has a ctx in scope must not call the context-less
+//     variant of a pair like Run/RunContext: when the callee's package also
+//     defines <Name>Context with a leading context parameter, the call must
+//     go through it.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "ctx is the first parameter, is always forwarded, and roots (Background/TODO) stay in main packages",
+	Run:  runCtxFlow,
+}
+
+func isContextType(t types.Type) bool {
+	path, name, ok := namedType(t)
+	return ok && path == "context" && name == "Context"
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxFirst(pass, n.Type)
+			case *ast.FuncLit:
+				checkCtxFirst(pass, n.Type)
+			case *ast.CallExpr:
+				checkCtxRoot(pass, n)
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(pass, fd.Type) {
+				continue
+			}
+			checkCtxForwarded(pass, fd.Body)
+		}
+	}
+}
+
+// checkCtxFirst reports a context parameter hiding behind others.
+func checkCtxFirst(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	seen := 0
+	for _, field := range ft.Params.List {
+		if isContextType(pass.TypeOf(field.Type)) && seen > 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+			return
+		}
+		seen += len(field.Names)
+		if len(field.Names) == 0 {
+			seen++
+		}
+	}
+}
+
+// checkCtxRoot reports context.Background/TODO in library code.
+func checkCtxRoot(pass *Pass, call *ast.CallExpr) {
+	if pass.Pkg.IsMain() {
+		return
+	}
+	switch name := pkgFunc(calleeFunc(pass.Pkg.Info, call)); name {
+	case "context.Background", "context.TODO":
+		pass.Reportf(call.Pos(), "%s() in library code: thread the caller's ctx instead", name)
+	}
+}
+
+// hasCtxParam reports whether the signature takes a context.Context.
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(pass.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxForwarded flags calls that drop an in-scope ctx when the callee's
+// package offers a <Name>Context variant taking one.
+func checkCtxForwarded(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil || signatureHasCtx(sig) {
+			return true
+		}
+		alt, ok := fn.Pkg().Scope().Lookup(fn.Name() + "Context").(*types.Func)
+		if !ok {
+			return true
+		}
+		altSig, ok := alt.Type().(*types.Signature)
+		if !ok || altSig.Params().Len() == 0 || !isContextType(altSig.Params().At(0).Type()) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "ctx is in scope but %s drops it: call %s.%sContext", fn.Name(), fn.Pkg().Name(), fn.Name())
+		return true
+	})
+}
+
+func signatureHasCtx(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

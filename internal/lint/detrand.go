@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// detPackages are the stages whose output must be a pure function of their
+// inputs and the explicit seed: placement SA, routing, bridge negotiation
+// and benchmark-circuit generation. Reproducibility of these stages is what
+// makes the paper's tables replayable.
+var detPackages = []string{
+	"repro/internal/place",
+	"repro/internal/route",
+	"repro/internal/bridge",
+	"repro/internal/qc",
+}
+
+// detRandDraws are the math/rand package-level functions that consume the
+// global (process-wide, unseeded-by-us) source. Constructors (New,
+// NewSource, NewZipf) stay legal: all randomness must flow from an
+// explicitly seeded *rand.Rand.
+var detRandDraws = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// DetRand enforces determinism in the seeded stages.
+//
+//   - time.Now/Since/Until are banned: wall-clock values leak
+//     irreproducible state into results.
+//   - Draws from the global math/rand source are banned; only methods of an
+//     explicitly seeded *rand.Rand may produce randomness.
+//   - A slice appended to inside a range-over-map loop must be sorted
+//     before the function ends (or the iteration rewritten over sorted
+//     keys): map iteration order is the classic silent nondeterminism.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "seeded stages (place/route/bridge/qc) draw no wall-clock time, no global rand, no map-order output",
+	Run:  runDetRand,
+}
+
+func inDetScope(path string) bool {
+	for _, p := range detPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runDetRand(pass *Pass) {
+	if !inDetScope(pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Pkg.Info, call)
+			switch name := pkgFunc(fn); name {
+			case "time.Now", "time.Since", "time.Until":
+				pass.Reportf(call.Pos(), "%s in a seeded stage: wall-clock state breaks reproducibility", name)
+			default:
+				if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math/rand" &&
+					name != "" && detRandDraws[fn.Name()] {
+					pass.Reportf(call.Pos(), "rand.%s draws from the global source: use an explicitly seeded *rand.Rand", fn.Name())
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkMapOrder(pass, fd)
+			}
+		}
+	}
+}
+
+// checkMapOrder flags slices that accumulate elements in map-iteration
+// order without a subsequent sort in the same function.
+func checkMapOrder(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		for _, obj := range appendTargets(pass, rs) {
+			if !sortedAfter(pass, fd, rs, obj) {
+				pass.Reportf(rs.Pos(), "slice %q accumulates map-iteration order: sort it before use or range over sorted keys", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// appendTargets returns the objects of slices appended to inside the range
+// body that outlive the loop (declared outside it).
+func appendTargets(pass *Pass, rs *ast.RangeStmt) []types.Object {
+	seen := map[types.Object]bool{}
+	var out []types.Object
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, isBuiltin := pass.Pkg.Info.Uses[callee].(*types.Builtin); !isBuiltin || b.Name() != "append" {
+			return true
+		}
+		obj := pass.Pkg.Info.ObjectOf(id)
+		if obj == nil || seen[obj] {
+			return true
+		}
+		// A slice declared inside the loop body is rebuilt per iteration;
+		// its order does not leak out of the range statement.
+		if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
+			return true
+		}
+		seen[obj] = true
+		out = append(out, obj)
+		return true
+	})
+	return out
+}
+
+// detSortFuncs are calls accepted as establishing a deterministic order.
+var detSortFuncs = map[string]bool{
+	"sort.Ints": true, "sort.Strings": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// sortedAfter reports whether obj is passed to a sort call after the range
+// statement, anywhere in the enclosing function.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		if !detSortFuncs[pkgFunc(calleeFunc(pass.Pkg.Info, call))] {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.Pkg.Info.ObjectOf(id) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

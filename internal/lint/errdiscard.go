@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrDiscard enforces error propagation in library code.
+//
+//   - Assigning an error result to the blank identifier is banned.
+//   - Calling an error-returning function as a bare statement is banned,
+//     except for writes into the infallible in-memory writers
+//     (*bytes.Buffer, *strings.Builder) and into the sticky-error
+//     *bufio.Writer, whose first failure latches and resurfaces at Flush —
+//     Flush itself is never exempt.
+//   - fmt.Errorf applied to an error value must wrap it with %w so
+//     errors.Is/As keep seeing the sentinel taxonomy across package
+//     boundaries.
+//
+// Main packages and _test.go files are out of scope: commands report to
+// stderr and exit, and tests discard at will.
+var ErrDiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc:  "library code neither discards error results nor flattens wrapped errors (%v instead of %w)",
+	Run:  runErrDiscard,
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errIface)
+}
+
+func runErrDiscard(pass *Pass) {
+	if pass.Pkg.IsMain() {
+		return
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, n)
+			case *ast.ExprStmt:
+				checkBareErrCall(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// checkBlankErrAssign flags `_ = f()` and `v, _ := g()` when the discarded
+// position carries an error.
+func checkBlankErrAssign(pass *Pass, n *ast.AssignStmt) {
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		tuple, ok := pass.TypeOf(n.Rhs[0]).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range n.Lhs {
+			if isBlank(lhs) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error result discarded with _: handle it or propagate it")
+			}
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if isBlank(lhs) && i < len(n.Rhs) && isErrorType(pass.TypeOf(n.Rhs[i])) {
+			pass.Reportf(lhs.Pos(), "error result discarded with _: handle it or propagate it")
+		}
+	}
+}
+
+// checkBareErrCall flags statement-position calls that drop an error result.
+func checkBareErrCall(pass *Pass, n *ast.ExprStmt) {
+	call, ok := n.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	t := pass.TypeOf(call)
+	hasErr := false
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				hasErr = true
+			}
+		}
+	default:
+		hasErr = isErrorType(t)
+	}
+	if !hasErr || infallibleWriter(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call discards its error result: check it or assign it")
+}
+
+// infallibleWriter reports writes whose dropped error is either statically
+// impossible (bytes.Buffer, strings.Builder) or latched for a later,
+// checked Flush (bufio.Writer).
+func infallibleWriter(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return isSafeWriter(sig.Recv().Type()) && fn.Name() != "Flush"
+	}
+	switch pkgFunc(fn) {
+	case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+		return len(call.Args) > 0 && isSafeWriter(pass.TypeOf(call.Args[0]))
+	}
+	return false
+}
+
+func isSafeWriter(t types.Type) bool {
+	path, name, ok := namedType(t)
+	if !ok {
+		return false
+	}
+	switch path + "." + name {
+	case "bytes.Buffer", "strings.Builder", "bufio.Writer":
+		return true
+	}
+	return false
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument
+// without %w, which severs the error chain.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if pkgFunc(calleeFunc(pass.Pkg.Info, call)) != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(pass.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "fmt.Errorf formats an error without %%w: errors.Is/As lose the cause")
+			return
+		}
+	}
+}

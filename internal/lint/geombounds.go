@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// geomPkg owns the lattice-geometry primitives; only it may reach into
+// their representation.
+const geomPkg = "repro/internal/geom"
+
+// GeomBounds keeps axis math behind internal/geom's helpers. Outside that
+// package:
+//
+//   - Non-empty geom.Point/geom.Box composite literals are banned: the
+//     constructors (Pt, NewBox, BoxAt, CellBox) normalize corners; raw
+//     literals can build denormalized boxes. The zero literal (geom.Box{})
+//     stays legal as the canonical empty value.
+//   - Writing a field of a Point or Box is banned: mutation goes through
+//     WithAxis, Add, Expand, Union and friends.
+//   - Arithmetic or ordered comparison mixing different axes (p.X + q.Y)
+//     is banned outright: on the lattice it is almost always a transposed-
+//     coordinate bug.
+var GeomBounds = &Analyzer{
+	Name: "geombounds",
+	Doc:  "geom.Point/Box stay behind geom's constructors and helpers: no raw literals, field writes, or mixed-axis math elsewhere",
+	Run:  runGeomBounds,
+}
+
+func isGeomNamed(pass *Pass, e ast.Expr, name string) bool {
+	path, n, ok := namedType(pass.TypeOf(e))
+	return ok && path == geomPkg && n == name
+}
+
+func runGeomBounds(pass *Pass) {
+	if pass.Pkg.Path == geomPkg || strings.HasPrefix(pass.Pkg.Path, geomPkg+"/") {
+		return
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkGeomLiteral(pass, n)
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkGeomFieldWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkGeomFieldWrite(pass, n.X)
+			case *ast.BinaryExpr:
+				checkMixedAxis(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkGeomLiteral flags non-empty Point/Box composite literals.
+func checkGeomLiteral(pass *Pass, lit *ast.CompositeLit) {
+	if len(lit.Elts) == 0 {
+		return
+	}
+	if isGeomNamed(pass, lit, "Point") {
+		pass.Reportf(lit.Pos(), "raw geom.Point literal: construct with geom.Pt")
+	} else if isGeomNamed(pass, lit, "Box") {
+		pass.Reportf(lit.Pos(), "raw geom.Box literal: construct with geom.NewBox, geom.BoxAt or geom.CellBox")
+	}
+}
+
+// checkGeomFieldWrite flags assignments through a Point/Box field selector.
+func checkGeomFieldWrite(pass *Pass, lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if isGeomNamed(pass, sel.X, "Point") {
+		pass.Reportf(lhs.Pos(), "write to geom.Point field outside geom: use geom.Pt, WithAxis or the arithmetic helpers")
+	} else if isGeomNamed(pass, sel.X, "Box") {
+		pass.Reportf(lhs.Pos(), "write to geom.Box field outside geom: rebuild via the box helpers (Expand, Union, Translate, ...)")
+	}
+}
+
+// axisOf resolves e to the axis letter of a Point field selection (directly
+// or through a Box's Min/Max corner, whose type is Point).
+func axisOf(pass *Pass, e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "X", "Y", "Z":
+	default:
+		return "", false
+	}
+	if !isGeomNamed(pass, sel.X, "Point") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// checkMixedAxis flags arithmetic and ordered comparison over two different
+// axes.
+func checkMixedAxis(pass *Pass, be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	ax, okX := axisOf(pass, be.X)
+	ay, okY := axisOf(pass, be.Y)
+	if okX && okY && ax != ay {
+		pass.Reportf(be.Pos(), "mixed-axis arithmetic (%s against %s): use geom's axis helpers", ax, ay)
+	}
+}

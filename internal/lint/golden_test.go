@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// wantRe extracts the expectation from a trailing `// want `+"`regex`"+`` comment.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// parseWants scans every fixture file for `// want` comments and returns
+// one expectation per comment, anchored to the comment's own line.
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatalf("glob %s: %v", dir, err)
+	}
+	sort.Strings(entries)
+	var wants []*want
+	for _, path := range entries {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("open %s: %v", path, err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, line, m[1], err)
+			}
+			wants = append(wants, &want{file: path, line: line, re: re})
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("scan %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("close %s: %v", path, err)
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no // want comments found under %s", dir)
+	}
+	return wants
+}
+
+// runGolden typechecks one fixture directory under asPath, runs exactly one
+// analyzer over it, and matches findings against the // want expectations in
+// both directions: every finding must be wanted, every want must be found.
+func runGolden(t *testing.T, analyzer, asPath string) {
+	t.Helper()
+	a := ByName(analyzer)
+	if a == nil {
+		t.Fatalf("no analyzer named %q", analyzer)
+	}
+	dir := filepath.Join("testdata", "src", analyzer)
+	pkg, err := LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	wants := parseWants(t, dir)
+	findings := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.hit || filepath.Clean(w.file) != filepath.Clean(f.File) || w.line != f.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched want `%s`", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestGoldenNoPanic(t *testing.T) {
+	runGolden(t, "nopanic", "repro/internal/nptest")
+}
+
+func TestGoldenCtxFlow(t *testing.T) {
+	runGolden(t, "ctxflow", "repro/internal/ctxtest")
+}
+
+func TestGoldenErrDiscard(t *testing.T) {
+	runGolden(t, "errdiscard", "repro/internal/edtest")
+}
+
+func TestGoldenDetRand(t *testing.T) {
+	runGolden(t, "detrand", "repro/internal/qc/drtest")
+}
+
+func TestGoldenGeomBounds(t *testing.T) {
+	runGolden(t, "geombounds", "repro/internal/gbtest")
+}
+
+// TestSuppressionMalformed checks that a directive missing its reason is
+// itself reported under the "lint" pseudo-analyzer rather than silently
+// swallowing findings.
+func TestSuppressionMalformed(t *testing.T) {
+	dir := t.TempDir()
+	src := `package badpkg
+
+func f() {
+	//lint:ignore nopanic
+	panic("still reported")
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "repro/internal/badtest")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings := RunAnalyzers([]*Package{pkg}, []*Analyzer{ByName("nopanic")})
+	var gotMalformed, gotPanic bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "lint":
+			gotMalformed = true
+		case "nopanic":
+			gotPanic = true
+		}
+	}
+	if !gotMalformed {
+		t.Errorf("malformed directive not reported: %v", findings)
+	}
+	if !gotPanic {
+		t.Errorf("malformed directive suppressed the panic finding: %v", findings)
+	}
+}
+
+// TestFindingString pins the human-readable output format the CLI prints.
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "nopanic", Message: "call to panic", File: "a/b.go", Line: 7, Col: 3}
+	got := f.String()
+	expect := fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	if got != expect {
+		t.Errorf("Finding.String() = %q, want %q", got, expect)
+	}
+}

@@ -1,0 +1,211 @@
+// Package lint implements tqeclint, the repo's stdlib-only static-analysis
+// driver. It loads typed ASTs for a set of packages (see load.go) and runs a
+// registry of repo-specific analyzers over them, reporting findings as
+// "file:line:col: [analyzer] message". The analyzers enforce the pipeline's
+// correctness invariants — panic-freedom, context threading, error
+// propagation, deterministic randomness and geometry encapsulation — that
+// are otherwise held only by convention.
+//
+// The driver is deliberately built on the standard library alone
+// (go/parser, go/ast, go/types, go/importer): the repo's stdlib-only rule
+// applies to its tooling too. Findings may be suppressed per line with a
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// directive, either trailing the offending line or on the line directly
+// above it. The reason is mandatory; a malformed directive is itself
+// reported as a finding of the pseudo-analyzer "lint".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report, addressable by file position.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+}
+
+// String formats the finding in the canonical "file:line:col: [analyzer]
+// message" shape used by the CLI and the test harnesses.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/route").
+	Path string
+	// Name is the package name; "main" marks command packages, which some
+	// analyzers treat more leniently (process exit, root contexts).
+	Name string
+	// Dir is the directory holding the source files.
+	Dir string
+	// Fset maps token positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed source files (comments included).
+	Files []*ast.File
+	// Types is the typechecked package.
+	Types *types.Package
+	// Info carries the typechecker's expression and object resolutions.
+	Info *types.Info
+}
+
+// IsMain reports whether the package is a command (package main).
+func (p *Package) IsMain() bool { return p.Name == "main" }
+
+// TestFile reports whether f is a _test.go file. Analyzers skip test files:
+// tests may panic, use ad-hoc contexts and discard errors freely.
+func (p *Package) TestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the registry key, used in findings and ignore directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run applies the check to one package, reporting through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) pairing through a run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+	})
+}
+
+// TypeOf returns the static type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// SourceFiles returns the package's non-test files — the surface the
+// analyzers police.
+func (p *Pass) SourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Pkg.Files {
+		if !p.Pkg.TestFile(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Analyzers returns the full registry in reporting order. Every analyzer
+// here runs in `make lint`, in the tqeclint CLI default set, and in the
+// self-check test that keeps CI and the CLI in lockstep.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NoPanic, CtxFlow, ErrDiscard, DetRand, GeomBounds}
+}
+
+// ByName returns the registered analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers applies the analyzers to every package, drops findings
+// covered by //lint:ignore directives, and returns the rest sorted by
+// position. Malformed directives surface as "lint" findings so a typo can
+// never silently disable a check.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		all = append(all, sup.malformed...)
+		var raw []Finding
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &raw}
+			a.Run(pass)
+		}
+		for _, f := range raw {
+			if !sup.covers(f) {
+				all = append(all, f)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for builtins,
+// type conversions and calls through function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// pkgFunc names a package-level function as "importpath.Name"; it returns
+// "" for methods and unresolved callees so bans match only true package
+// functions (a method named Fatal on a local type is not log.Fatal).
+func pkgFunc(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// namedType unwraps pointers and reports the named type's package path and
+// name, or ok=false for unnamed types.
+func namedType(t types.Type) (pkgPath, name string, ok bool) {
+	if t == nil {
+		return "", "", false
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed || n.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return n.Obj().Pkg().Path(), n.Obj().Name(), true
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listedPackage is the slice of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+}
+
+// goList enumerates the packages matched by patterns, from dir. The go
+// command is the one module-aware oracle the standard library offers, so the
+// loader shells out to it for package discovery only; parsing and
+// typechecking stay in-process.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %w: %s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []listedPackage
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadPackages loads and typechecks every package matched by patterns
+// (e.g. "./...") relative to dir. Dependencies — in-module and standard
+// library alike — are resolved from source by go/importer's "source"
+// importer, keeping the loader free of external tooling. Loading fails on
+// the first parse or type error: the analyzers only run over well-typed
+// code.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var out []*Package
+	for _, lp := range listed {
+		var paths []string
+		for _, name := range lp.GoFiles {
+			paths = append(paths, filepath.Join(lp.Dir, name))
+		}
+		pkg, err := typecheck(fset, imp, lp.ImportPath, lp.Dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir loads the single package rooted at dir, typechecked under the
+// synthetic import path asPath. The golden-file tests use it to place
+// fixture packages inside an analyzer's scope (e.g. a detrand fixture under
+// "repro/internal/qc/...") without touching the real tree.
+func LoadDir(dir, asPath string) (*Package, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: globbing %s: %w", dir, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(paths)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return typecheck(fset, imp, asPath, dir, paths)
+}
+
+// typecheck parses the given files and typechecks them as one package.
+func typecheck(fset *token.FileSet, imp types.Importer, path, dir string, filePaths []string) (*Package, error) {
+	var files []*ast.File
+	for _, p := range filePaths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// faultsPkg is the one library package allowed to reason about panics: the
+// failure-taxonomy package whose recover guards convert residual panics
+// into StageError values.
+const faultsPkg = "repro/internal/faults"
+
+// NoPanic enforces PR 1's panic-free contract: library code returns errors
+// from the faults taxonomy instead of panicking or killing the process.
+//
+//   - panic(...) is banned everywhere outside internal/faults and _test.go
+//     files.
+//   - log.Fatal/Fatalf/Fatalln and os.Exit are banned in non-main packages;
+//     a command's main package owns process exit, a library never does.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "no panic/log.Fatal/os.Exit in library code; failures flow through the faults error taxonomy",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	if pass.Pkg.Path == faultsPkg {
+		return
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "panic" {
+					pass.Reportf(call.Pos(), "call to panic: return an error wrapping faults.ErrInvariant instead")
+				}
+				return true
+			}
+			if pass.Pkg.IsMain() {
+				return true
+			}
+			switch name := pkgFunc(calleeFunc(pass.Pkg.Info, call)); name {
+			case "log.Fatal", "log.Fatalf", "log.Fatalln":
+				pass.Reportf(call.Pos(), "call to %s in library code: return the error to the caller", name)
+			case "os.Exit":
+				pass.Reportf(call.Pos(), "call to os.Exit in library code: only main packages may end the process")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,23 @@
+package lint
+
+import "testing"
+
+// TestSelfCheck runs the full analyzer registry over the repository's own
+// packages and fails on any finding. This is the same gate `make lint`
+// enforces, kept inside `go test ./...` so a violation cannot land even
+// when the Makefile is bypassed.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-check typechecks the whole module; skipped in -short mode")
+	}
+	pkgs, err := LoadPackages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, f := range RunAnalyzers(pkgs, Analyzers()) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignorePrefix is the directive marker. The form is
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// with no space between "//" and "lint": the directive shape Go reserves
+// for machine-read comments.
+const ignorePrefix = "//lint:ignore"
+
+// suppressionSet indexes the ignore directives of one package. A directive
+// suppresses matching findings on its own line (trailing-comment form) and
+// on the line directly below it (preceding-comment form).
+type suppressionSet struct {
+	// byFile maps filename -> line -> the analyzers ignored on that line.
+	byFile map[string]map[int]map[string]bool
+	// malformed collects directives missing an analyzer or a reason,
+	// reported under the pseudo-analyzer "lint".
+	malformed []Finding
+}
+
+func collectSuppressions(pkg *Package) *suppressionSet {
+	s := &suppressionSet{byFile: map[string]map[int]map[string]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Finding{
+						Analyzer: "lint",
+						Message:  `malformed //lint:ignore directive: want "//lint:ignore <analyzer> <reason>"`,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+					})
+					continue
+				}
+				lines := s.byFile[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					s.byFile[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						set := lines[line]
+						if set == nil {
+							set = map[string]bool{}
+							lines[line] = set
+						}
+						set[name] = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// covers reports whether a directive suppresses the finding.
+func (s *suppressionSet) covers(f Finding) bool {
+	return s.byFile[f.File][f.Line][f.Analyzer]
+}

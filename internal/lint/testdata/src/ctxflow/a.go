@@ -1,0 +1,39 @@
+// Package ctxpkg is the tqeclint golden fixture for the ctxflow analyzer:
+// context-first signatures, no library-minted roots, and forwarding to
+// *Context variants when one exists.
+package ctxpkg
+
+import "context"
+
+// Work and WorkContext form the pair the forwarding check keys on.
+func Work() {}
+
+func WorkContext(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func bad(name string, ctx context.Context) { // want `context.Context must be the first parameter`
+	WorkContext(ctx)
+}
+
+func badLit() {
+	f := func(n int, ctx context.Context) { // want `context.Context must be the first parameter`
+		WorkContext(ctx)
+	}
+	f(1, context.TODO()) // want `context.TODO\(\) in library code`
+}
+
+func root() {
+	ctx := context.Background() // want `context.Background\(\) in library code`
+	WorkContext(ctx)
+}
+
+func forward(ctx context.Context) {
+	Work() // want `ctx is in scope but Work drops it`
+	WorkContext(ctx)
+}
+
+func entry() {
+	//lint:ignore ctxflow fixture: sanctioned no-context entry point
+	WorkContext(context.Background())
+}

@@ -1,0 +1,60 @@
+// Package edpkg is the tqeclint golden fixture for the errdiscard
+// analyzer: no blank or bare-statement discards of errors, and error
+// causes wrapped with %w.
+package edpkg
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+func emit(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty input")
+	}
+	return nil
+}
+
+func parse(s string) int {
+	n, _ := strconv.Atoi(s) // want `error result discarded with _`
+	return n
+}
+
+func run(s string) {
+	_ = emit(s) // want `error result discarded with _`
+	emit(s)     // want `call discards its error result`
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("stage failed: %v", err) // want `fmt.Errorf formats an error without %w`
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("stage failed: %w", err)
+}
+
+// In-memory writers cannot fail; discarding their results is legal.
+func buffered() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "volume=%d", 42)
+	b.WriteString("!")
+	return b.String()
+}
+
+// bufio.Writer latches its first error for Flush, so intermediate writes
+// may be discarded — but Flush itself must be checked.
+func sticky(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "header")
+	bw.WriteString("body")
+	bw.Flush() // want `call discards its error result`
+	return bw.Flush()
+}
+
+func ignored(s string) {
+	//lint:ignore errdiscard fixture: best-effort emit
+	emit(s)
+}

@@ -1,0 +1,52 @@
+// Package gbpkg is the tqeclint golden fixture for the geombounds
+// analyzer: geometry stays behind internal/geom's constructors and
+// helpers.
+package gbpkg
+
+import "repro/internal/geom"
+
+func build(x, y, z int) geom.Point {
+	return geom.Point{X: x, Y: y, Z: z} // want `raw geom.Point literal`
+}
+
+func buildBox(p geom.Point) geom.Box {
+	return geom.Box{Min: p, Max: p} // want `raw geom.Box literal`
+}
+
+// The zero literal is the canonical empty value and stays legal.
+func zero() geom.Box {
+	return geom.Box{}
+}
+
+func widen(b geom.Box) geom.Box {
+	b.Max.X++ // want `write to geom.Point field`
+	return b
+}
+
+func move(p geom.Point) geom.Point {
+	p.Y = 3 // want `write to geom.Point field`
+	return p
+}
+
+func reframe(b geom.Box, p geom.Point) geom.Box {
+	b.Min = p // want `write to geom.Box field`
+	return b
+}
+
+func skew(p, q geom.Point) int {
+	return p.X + q.Y // want `mixed-axis arithmetic \(X against Y\)`
+}
+
+func compare(b geom.Box, p geom.Point) bool {
+	return b.Min.Z < p.X // want `mixed-axis arithmetic \(Z against X\)`
+}
+
+// Same-axis math is legal raw.
+func span(b geom.Box) int {
+	return b.Max.X - b.Min.X
+}
+
+func legacy(x, y, z int) geom.Point {
+	//lint:ignore geombounds fixture: raw literal retained for comparison
+	return geom.Point{X: x, Y: y, Z: z}
+}

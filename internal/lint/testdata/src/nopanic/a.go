@@ -1,0 +1,42 @@
+// Package nppkg is the tqeclint golden fixture for the nopanic analyzer.
+// It is typechecked under a library import path, so panic, log.Fatal* and
+// os.Exit are all banned.
+package nppkg
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func boom(v int) error {
+	if v < 0 {
+		panic("negative") // want `call to panic`
+	}
+	if v == 0 {
+		log.Fatal("zero") // want `call to log.Fatal in library code`
+	}
+	if v == 1 {
+		log.Fatalf("one: %d", v) // want `call to log.Fatalf in library code`
+	}
+	if v == 2 {
+		os.Exit(2) // want `call to os.Exit in library code`
+	}
+	return fmt.Errorf("v=%d", v)
+}
+
+func guarded(v int) {
+	if v > 10 {
+		//lint:ignore nopanic fixture: reviewed panic, impossible by construction
+		panic("unreachable")
+	}
+}
+
+// Fatal is a local method; its name must not trip the log.Fatal ban.
+type reporter struct{}
+
+func (reporter) Fatal(args ...any) {}
+
+func local(r reporter) {
+	r.Fatal("fine")
+}

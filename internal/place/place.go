@@ -105,6 +105,7 @@ type Placement struct {
 // Run places the clustering's super-modules. With Restarts > 1 it anneals
 // that many independent chains in parallel and returns the best.
 func Run(cl *cluster.Clustering, nets []bridge.Net, opts Options) (*Placement, error) {
+	//lint:ignore ctxflow sanctioned no-context entry point; RunContext is the threaded variant
 	return RunContext(context.Background(), cl, nets, opts)
 }
 
@@ -270,16 +271,7 @@ func (e *engine) resizeTSLs() {
 		}
 		var m geom.Point
 		for _, id := range tsl {
-			sz := e.sizes[id]
-			if sz.X > m.X {
-				m.X = sz.X
-			}
-			if sz.Y > m.Y {
-				m.Y = sz.Y
-			}
-			if sz.Z > m.Z {
-				m.Z = sz.Z
-			}
+			m = geom.MaxPoint(m, e.sizes[id])
 		}
 		for _, id := range tsl {
 			e.sizes[id] = m

@@ -114,6 +114,11 @@ type Result struct {
 	// first pass routed everything.
 	HistoryCells int
 	MaxHistory   float64
+	// PinCells maps pin ID to the cell the router homed it to (pins may
+	// be rehomed away from their geometric position, see homePin). Verify
+	// uses it to check that every path terminal is anchored; results built
+	// by hand may leave it nil, which skips the terminal check.
+	PinCells map[int]geom.Point
 	// Bounds is the bounding box of bodies, boxes and routes.
 	Bounds geom.Box
 }
@@ -170,6 +175,7 @@ type router struct {
 
 // Run routes all nets of the placement.
 func Run(p *place.Placement, opts Options) (*Result, error) {
+	//lint:ignore ctxflow sanctioned no-context entry point; RunContext is the threaded variant
 	return RunContext(context.Background(), p, opts)
 }
 
@@ -411,6 +417,10 @@ func (r *router) route() {
 		failed = dedupInts(still)
 	}
 	failed = append(failed, abandoned...)
+	// Restore the friend-net anchoring invariant: rip-ups may have left
+	// nets terminating on paths that no longer exist. Nets the repair
+	// cannot re-route join the failed set for the degradation path.
+	failed = append(failed, r.repairDangling(margin)...)
 	var exhausted []int
 	for _, idx := range dedupInts(failed) {
 		if _, routed := r.routes[r.nets[idx].ID]; !routed {
@@ -490,6 +500,10 @@ func (r *router) searchRegion(n bridge.Net, margin int) geom.Box {
 
 // ripUpRegion removes routed nets whose cells intersect the region,
 // charging congestion history, and returns the victims' net indices.
+// Ripping a net can leave a friend that terminated on its path with a
+// dangling terminal; repairDangling re-anchors those after the
+// negotiation rounds instead of cascading rip-ups here (eager transitive
+// ripping thrashes the rip budget on congested regions).
 func (r *router) ripUpRegion(region geom.Box, exceptNet int) []int {
 	victims := map[int]bool{}
 	for id, path := range r.routes {
@@ -519,6 +533,90 @@ func (r *router) ripUpRegion(region geom.Box, exceptNet int) []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// anchored reports whether cell c is a legal terminal for net n's pin:
+// the net's own (rehomed) pin cell, or a cell of a committed route of
+// another net sharing the pin (the friend-net deformation).
+func (r *router) anchored(netID, pin int, c geom.Point) bool {
+	if c == r.pinCell[pin] {
+		return true
+	}
+	for _, fid := range r.friends[pin] {
+		if fid == netID {
+			continue
+		}
+		for _, fc := range r.routes[fid] {
+			if fc == c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// danglingNets returns the routed nets whose paths are no longer anchored
+// at both ends — a friend whose path a terminal borrowed was ripped up
+// without this net being re-routed. A terminal at the net's own pin cell
+// never dangles, so nets merely sharing a pin cell stay out.
+func (r *router) danglingNets() []int {
+	var bad []int
+	for id, path := range r.routes {
+		n := r.nets[id]
+		head, tail := path[0], path[len(path)-1]
+		if (r.anchored(id, n.PinA, head) && r.anchored(id, n.PinB, tail)) ||
+			(r.anchored(id, n.PinB, head) && r.anchored(id, n.PinA, tail)) {
+			continue
+		}
+		bad = append(bad, id)
+	}
+	sort.Ints(bad)
+	return bad
+}
+
+// uncommit removes a net's committed route without charging congestion
+// history (used by terminal repair, which is not a congestion event).
+func (r *router) uncommit(id int) {
+	for _, c := range r.routes[id] {
+		if r.netAt[c] == id {
+			delete(r.netAt, c)
+		}
+	}
+	delete(r.routes, id)
+	delete(r.routeBounds, id)
+}
+
+// repairDangling restores the friend-net anchoring invariant after the
+// negotiation rounds: nets whose borrowed terminal dangles are ripped and
+// re-routed against the current committed paths. Re-routing one net can
+// strand another that borrowed its old path, so the scan iterates to a
+// fixpoint; any net still unanchored at the bound is ripped for good and
+// returned so the caller hands it to the degradation path.
+func (r *router) repairDangling(margin []int) []int {
+	var lost []int
+	for pass := 0; pass <= len(r.nets); pass++ {
+		if r.checkCtx() {
+			return lost
+		}
+		bad := r.danglingNets()
+		if len(bad) == 0 {
+			return lost
+		}
+		for _, id := range bad {
+			r.uncommit(id)
+		}
+		if pass == len(r.nets) {
+			// Fixpoint bound hit: leave the stragglers unrouted rather
+			// than committing paths that violate the anchoring invariant.
+			return append(lost, bad...)
+		}
+		for _, id := range bad {
+			if !r.tryRoute(r.nets[id], margin[id]+r.opts.ExpandStep) {
+				lost = append(lost, id)
+			}
+		}
+	}
+	return lost
 }
 
 // endpointSets returns the start and target cell sets for a net, including
@@ -753,7 +851,9 @@ func (r *router) finish() {
 		r.result.Routes[id] = path
 		b = b.Union(path.Bounds())
 	}
-	for _, c := range r.pinCell {
+	r.result.PinCells = make(map[int]geom.Point, len(r.pinCell))
+	for pid, c := range r.pinCell {
+		r.result.PinCells[pid] = c
 		b = b.UnionPoint(c)
 	}
 	r.result.Bounds = b
@@ -761,13 +861,21 @@ func (r *router) finish() {
 
 // Verify checks that every routed path is connected, collision-free
 // against module bodies/boxes, and does not overlap other nets except at
-// shared friend cells (path endpoints). A result with unrouted nets fails
+// shared friend cells (path endpoints). When the result carries PinCells,
+// it additionally checks that every path terminal is anchored: at the
+// net's own pin cell, or on the committed path of a friend net sharing
+// that pin (the Fig. 19 deformation). A result with unrouted nets fails
 // with an error wrapping faults.ErrUnroutable; a degraded (fallback-
 // routed) result fails with an error wrapping faults.ErrDegraded, so a
 // degraded routing can never verify silently.
 func Verify(p *place.Placement, res *Result) error {
 	if err := verifyStructure(p, res); err != nil {
 		return err
+	}
+	if res.PinCells != nil {
+		if err := verifyTerminals(p, res); err != nil {
+			return err
+		}
 	}
 	if len(res.Failed) > 0 {
 		return fmt.Errorf("route: %w: %d nets unrouted: %v", faults.ErrUnroutable, len(res.Failed), res.Failed)
@@ -782,9 +890,11 @@ func Verify(p *place.Placement, res *Result) error {
 // verifyStructure runs the structural path checks shared by strict and
 // degraded verification.
 func verifyStructure(p *place.Placement, res *Result) error {
+	// Module bodies carry their module index so a violation names the
+	// module it pierces; distillation boxes use -1.
 	static := rtree.New()
 	for m := range p.Clust.NL.Modules {
-		static.Insert(p.ModuleBox(m), -1)
+		static.Insert(p.ModuleBox(m), m)
 	}
 	for _, b := range p.BoxObstacles() {
 		static.Insert(b, -1)
@@ -803,7 +913,7 @@ func verifyStructure(p *place.Placement, res *Result) error {
 		}
 		for i, c := range path {
 			if static.Intersects(geom.CellBox(c)) {
-				return fmt.Errorf("route: net %d cell %v inside an obstacle", id, c)
+				return fmt.Errorf("route: net %d cell %v %s", id, c, obstacleName(static, c))
 			}
 			uses[c] = append(uses[c], use{id: id, mid: i != 0 && i != len(path)-1})
 		}
@@ -821,6 +931,68 @@ func verifyStructure(p *place.Placement, res *Result) error {
 		}
 		if mids > 1 {
 			return fmt.Errorf("route: %d nets overlap mid-path at %v", mids, c)
+		}
+	}
+	return nil
+}
+
+// obstacleName describes the static obstacle covering cell c: the pierced
+// module by index, or a distillation box.
+func obstacleName(static *rtree.Tree, c geom.Point) string {
+	for _, e := range static.Search(geom.CellBox(c), nil) {
+		if e.ID >= 0 {
+			return fmt.Sprintf("inside module %d body", e.ID)
+		}
+	}
+	return "inside a distillation-box obstacle"
+}
+
+// verifyTerminals enforces the friend-net anchoring invariant on every
+// routed path: each terminal must sit at the net's own (rehomed) pin cell
+// or on the committed path of another net sharing that pin, with one
+// terminal anchoring each pin. A path that anchors neither orientation is
+// dangling — the friend path its deformation borrowed was ripped up
+// without this net being re-routed.
+func verifyTerminals(p *place.Placement, res *Result) error {
+	netByID := make(map[int]bridge.Net, len(p.Nets))
+	friends := map[int][]int{}
+	for _, n := range p.Nets {
+		netByID[n.ID] = n
+		friends[n.PinA] = append(friends[n.PinA], n.ID)
+		friends[n.PinB] = append(friends[n.PinB], n.ID)
+	}
+	onFriendPath := func(netID, pin int, c geom.Point) bool {
+		for _, fid := range friends[pin] {
+			if fid == netID {
+				continue
+			}
+			for _, fc := range res.Routes[fid] {
+				if fc == c {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	ids := make([]int, 0, len(res.Routes))
+	for id := range res.Routes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		n, ok := netByID[id]
+		if !ok {
+			return fmt.Errorf("route: routed net %d not in the netlist", id)
+		}
+		path := res.Routes[id]
+		head, tail := path[0], path[len(path)-1]
+		anchors := func(pin int, c geom.Point) bool {
+			return c == res.PinCells[pin] || onFriendPath(id, pin, c)
+		}
+		if !(anchors(n.PinA, head) && anchors(n.PinB, tail)) &&
+			!(anchors(n.PinB, head) && anchors(n.PinA, tail)) {
+			return fmt.Errorf("route: net %d terminals %v..%v dangle: want pin cells %v/%v or a friend path at each end",
+				id, head, tail, res.PinCells[n.PinA], res.PinCells[n.PinB])
 		}
 	}
 	return nil

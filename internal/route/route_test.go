@@ -2,6 +2,7 @@ package route
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/bridge"
@@ -266,6 +267,71 @@ func TestBlockedDetection(t *testing.T) {
 		}
 	}
 	_ = geom.Pt(0, 0, 0)
+}
+
+// Verify must name the module a corrupted path pierces. The result is
+// hand-built (PinCells nil) so only the structural checks run against a
+// path driven straight through module 0's body.
+func TestVerifyRejectsPathThroughModule(t *testing.T) {
+	c := qc.New("pierce", 2)
+	c.Append(qc.CNOT(0, 1))
+	pl := placed(t, c, false, 50)
+	mb := pl.ModuleBox(0)
+	y, z := mb.Min.Y, mb.Min.Z
+	var path geom.Path
+	for x := mb.Min.X - 1; x <= mb.Max.X; x++ {
+		path = append(path, geom.Pt(x, y, z))
+	}
+	res := &Result{Routes: map[int]geom.Path{0: path}}
+	err := Verify(pl, res)
+	if err == nil {
+		t.Fatal("path through a module body not caught")
+	}
+	if !strings.Contains(err.Error(), "inside module 0 body") {
+		t.Fatalf("error does not name the pierced module: %v", err)
+	}
+}
+
+// Verify must reject a routed path whose terminal is anchored neither at
+// its own pin cell nor on a friend's path. Truncating a real route's first
+// cell detaches that terminal exactly the way a ripped-up friend would.
+func TestVerifyRejectsDanglingFriendTerminal(t *testing.T) {
+	c := qc.New("dangle", 3)
+	c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2))
+	// Unbridged: no shared pins, so no friend path can legitimize the
+	// detached terminal.
+	pl := placed(t, c, false, 100)
+	res, err := Run(pl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("failed nets: %v", res.Failed)
+	}
+	if res.PinCells == nil {
+		t.Fatal("router did not record PinCells")
+	}
+	if err := Verify(pl, res); err != nil {
+		t.Fatalf("intact result must verify: %v", err)
+	}
+	corrupted := -1
+	for _, n := range pl.Nets {
+		if len(res.Routes[n.ID]) >= 3 {
+			res.Routes[n.ID] = res.Routes[n.ID][1:]
+			corrupted = n.ID
+			break
+		}
+	}
+	if corrupted < 0 {
+		t.Skip("no route long enough to truncate")
+	}
+	err = Verify(pl, res)
+	if err == nil {
+		t.Fatalf("dangling terminal on net %d not caught", corrupted)
+	}
+	if !strings.Contains(err.Error(), "dangle") {
+		t.Fatalf("unexpected error for dangling terminal: %v", err)
+	}
 }
 
 // mustGen generates a benchmark circuit, failing the test on error.

@@ -172,6 +172,7 @@ func (r *Result) CompressionRatio() float64 {
 
 // Compile runs the full compression flow on a reversible/quantum circuit.
 func Compile(c *qc.Circuit, opts Options) (*Result, error) {
+	//lint:ignore ctxflow sanctioned no-context entry point; CompileContext is the threaded variant
 	return CompileContext(context.Background(), c, opts)
 }
 
@@ -202,6 +203,7 @@ func CompileContext(ctx context.Context, c *qc.Circuit, opts Options) (*Result, 
 // state distillation circuits of package distill, the workloads Fowler &
 // Devitt compressed by hand).
 func CompileICM(ic *icm.Circuit, opts Options) (*Result, error) {
+	//lint:ignore ctxflow sanctioned no-context entry point; CompileICMContext is the threaded variant
 	return CompileICMContext(context.Background(), ic, opts)
 }
 
