@@ -1,10 +1,12 @@
 # Build/verify entry points. `make ci` is the full gate: vet, the
-# repo-specific tqeclint analyzers, build, race-enabled tests, and a
-# replay of the committed fuzz corpora.
+# repo-specific tqeclint analyzers (doccomment included — the docs gate),
+# build, race-enabled tests, a replay of the committed fuzz corpora, and
+# a one-iteration bench-json smoke run that validates the BENCH_*.json
+# schema round-trips.
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz-seeds bench ci
+.PHONY: all build vet lint test race fuzz-seeds bench bench-json bench-smoke ci
 
 all: build
 
@@ -32,4 +34,16 @@ fuzz-seeds:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-ci: vet lint build race fuzz-seeds
+# Regenerate the committed performance artifact (see BENCHMARKS.md).
+bench-json:
+	$(GO) run ./cmd/tqecbench -bench-out BENCH_seed.json -bench-iters 3 -bench-kernels
+
+# One-iteration bench run into a scratch file: exercises the full
+# measurement path and proves the JSON schema round-trips (-bench-out
+# re-reads and validates what it wrote; the self-compare exercises the
+# regression judge).
+bench-smoke:
+	$(GO) run ./cmd/tqecbench -bench-out $${TMPDIR:-/tmp}/BENCH_ci_smoke.json -bench-iters 1
+	$(GO) run ./cmd/tqecbench -compare $${TMPDIR:-/tmp}/BENCH_ci_smoke.json $${TMPDIR:-/tmp}/BENCH_ci_smoke.json
+
+ci: vet lint build race fuzz-seeds bench-smoke

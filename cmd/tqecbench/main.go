@@ -1,15 +1,24 @@
 // Command tqecbench regenerates the paper's experimental tables and
-// figure-shaped results.
+// figure-shaped results, and produces/judges the repository's
+// reproducible performance artifacts.
 //
 // Usage:
 //
 //	tqecbench [-table N | -fig name | -all] [-benchmarks a,b,c] [-full]
 //	          [-iters N] [-seed S] [-no-ablations] [-timeout 10m]
+//	tqecbench -bench-out BENCH_<name>.json [-bench-iters N] [-bench-kernels]
+//	tqecbench -compare old.json new.json [-threshold 0.10]
 //
 // Tables: 1 (benchmark statistics), 2 (space-time volumes vs canonical and
 // [22]), 3 (conference-version ablation), 4 (dimensions), 5 (bridging
 // ablation), 6 (runtime breakdown). Figures: "motivation" (Fig. 4/5),
 // "boxes" (Fig. 6/7), "friendnet" (Fig. 19).
+//
+// -bench-out runs the benchmark suite -bench-iters times through the full
+// pipeline, records per-stage wall time, allocation deltas and compression
+// metrics, and writes a schema-versioned JSON artifact (see BENCHMARKS.md).
+// -compare judges a new artifact against an old one and exits non-zero
+// when any time metric regressed by more than -threshold.
 //
 // The default benchmark set holds the two smallest circuits; -full runs
 // all eight (the paper spends over an hour of workstation time there).
@@ -20,8 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/harness"
 	"repro/tqec"
 )
@@ -36,7 +47,25 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	noAblations := flag.Bool("no-ablations", false, "skip the no-bridging/conference runs")
 	timeout := flag.Duration("timeout", 0, "abort each benchmark compilation after this long (0 = no limit)")
+	benchOut := flag.String("bench-out", "", "write a BENCH_*.json performance artifact to this path and exit")
+	benchIters := flag.Int("bench-iters", 3, "pipeline runs per circuit for -bench-out")
+	benchKernels := flag.Bool("bench-kernels", false, "also measure the isolated place/route kernels for -bench-out")
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json artifacts (old new); exit non-zero on regression")
+	threshold := flag.Float64("threshold", bench.DefaultThreshold, "relative slowdown treated as a regression by -compare")
 	flag.Parse()
+
+	if *compare {
+		if err := runCompare(flag.Args(), *threshold); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchOut != "" {
+		if err := runBench(*benchOut, *benchmarks, *full, *benchIters, *seed, *benchKernels); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *table == 0 && *fig == "" && !*all {
 		*all = true
@@ -130,6 +159,76 @@ func figures(which string, all bool, seed int64, cfg harness.Config) error {
 	default:
 		return fmt.Errorf("unknown figure %q", which)
 	}
+}
+
+// runBench produces a BENCH_*.json artifact, reads it back and validates
+// it so a malformed write can never land in the trajectory.
+func runBench(out, benchmarks string, full bool, iters int, seed int64, kernels bool) error {
+	suite := harness.DefaultConfig().Benchmarks
+	if full {
+		suite = harness.FullConfig().Benchmarks
+	}
+	if benchmarks != "" {
+		suite = strings.Split(benchmarks, ",")
+	}
+	name := strings.TrimSuffix(filepath.Base(out), ".json")
+	name = strings.TrimPrefix(name, "BENCH_")
+	fmt.Fprintf(os.Stderr, "benchmarking %d circuit(s) × %d iteration(s) (kernels: %v)...\n",
+		len(suite), iters, kernels)
+	f, err := bench.Run(bench.Options{
+		Name:       name,
+		Suite:      suite,
+		Iterations: iters,
+		Seed:       seed,
+		Kernels:    kernels,
+	})
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteFile(out, f); err != nil {
+		return err
+	}
+	if _, err := bench.ReadFile(out); err != nil {
+		return fmt.Errorf("artifact failed round-trip validation: %w", err)
+	}
+	fmt.Printf("wrote %s: %d circuit(s), %d kernel(s), schema v%d\n",
+		out, len(f.Circuits), len(f.Kernels), f.Schema)
+	return nil
+}
+
+// runCompare judges new against old and exits non-zero on regression.
+func runCompare(args []string, threshold float64) error {
+	if len(args) != 2 {
+		return fmt.Errorf("-compare needs exactly two arguments: old.json new.json")
+	}
+	old, err := bench.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	cur, err := bench.ReadFile(args[1])
+	if err != nil {
+		return err
+	}
+	rep, err := bench.Compare(old, cur, threshold)
+	if err != nil {
+		return err
+	}
+	for _, d := range rep.Deltas {
+		mark := " "
+		if d.Regression {
+			mark = "!"
+		}
+		fmt.Printf("%s %-40s %12d -> %12d ns  (%+.1f%%)\n",
+			mark, d.Metric, d.Old, d.New, (d.Ratio-1)*100)
+	}
+	for _, m := range rep.Missing {
+		fmt.Printf("? missing in new artifact: %s\n", m)
+	}
+	if regs := rep.Regressions(); len(regs) > 0 {
+		return fmt.Errorf("%d metric(s) regressed by more than %.0f%%", len(regs), rep.Threshold*100)
+	}
+	fmt.Printf("no regressions beyond %.0f%% across %d metric(s)\n", rep.Threshold*100, len(rep.Deltas))
+	return nil
 }
 
 func fatal(err error) {

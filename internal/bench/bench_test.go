@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/tqec"
+)
+
+// stubCompile returns a Compile hook that fabricates deterministic
+// results without running the pipeline.
+func stubCompile(totalMS int64) func(context.Context, string, int64) (*tqec.Result, error) {
+	return func(_ context.Context, name string, _ int64) (*tqec.Result, error) {
+		res := &tqec.Result{Breakdown: metrics.NewBreakdown()}
+		res.Breakdown.Add(metrics.StagePlacement, time.Duration(totalMS)*time.Millisecond/2)
+		res.Breakdown.Add(metrics.StageRouting, time.Duration(totalMS)*time.Millisecond/2)
+		res.Volume = 1000 + len(name)
+		res.CanonicalVolume = 4000
+		res.Dims = metrics.Dims{W: 10, H: 10, D: 10 + len(name)}
+		return res, nil
+	}
+}
+
+func stubFile(t *testing.T, totalMS int64) *File {
+	t.Helper()
+	f, err := Run(Options{
+		Name:       "test",
+		Suite:      []string{"a", "b"},
+		Iterations: 2,
+		Seed:       1,
+		Compile:    stubCompile(totalMS),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRunProducesValidArtifact(t *testing.T) {
+	f := stubFile(t, 1)
+	if err := Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != SchemaVersion || f.Iterations != 2 || len(f.Circuits) != 2 {
+		t.Fatalf("unexpected artifact shape: %+v", f)
+	}
+	c := f.Circuits[0]
+	if c.Total.MinNS <= 0 || c.Total.MaxNS < c.Total.MeanNS || c.Total.MeanNS < c.Total.MinNS {
+		t.Fatalf("inconsistent total stat: %+v", c.Total)
+	}
+	if len(c.Stages) != 2 {
+		t.Fatalf("want 2 stages, got %+v", c.Stages)
+	}
+	if c.Volume == 0 || c.CompressionRatio == 0 || c.Dims == "" {
+		t.Fatalf("compression metrics missing: %+v", c)
+	}
+}
+
+// TestFileRoundTrip pins that WriteFile output reads back identically
+// enough to validate (the bench-smoke CI gate in miniature).
+func TestFileRoundTrip(t *testing.T) {
+	f := stubFile(t, 1)
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != f.Name || back.Seed != f.Seed || len(back.Circuits) != len(f.Circuits) {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, f)
+	}
+	if back.Circuits[0].Total != f.Circuits[0].Total {
+		t.Fatalf("round trip changed stats: %+v vs %+v", back.Circuits[0].Total, f.Circuits[0].Total)
+	}
+}
+
+// TestValidateRejectsMalformed covers the schema guard rails.
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]func(*File){
+		"wrong schema":     func(f *File) { f.Schema = SchemaVersion + 1 },
+		"no circuits":      func(f *File) { f.Circuits = nil },
+		"unnamed circuit":  func(f *File) { f.Circuits[0].Name = "" },
+		"dup circuit":      func(f *File) { f.Circuits[1].Name = f.Circuits[0].Name },
+		"zero total":       func(f *File) { f.Circuits[0].Total = Stat{} },
+		"inverted stat":    func(f *File) { f.Circuits[0].Total = Stat{MinNS: 10, MeanNS: 5, MaxNS: 20} },
+		"zero iterations":  func(f *File) { f.Iterations = 0 },
+		"missing volume":   func(f *File) { f.Circuits[0].Volume = 0 },
+		"unnamed stage":    func(f *File) { f.Circuits[0].Stages[0].Name = "" },
+		"bad kernel ns/op": func(f *File) { f.Kernels = []Kernel{{Name: "k"}} },
+	}
+	for name, corrupt := range cases {
+		f := stubFile(t, 1)
+		corrupt(f)
+		if err := Validate(f); err == nil {
+			t.Errorf("%s: Validate accepted a malformed artifact", name)
+		}
+	}
+}
+
+// TestCompareFlagsInjectedSlowdown pins the acceptance criterion: a >10%
+// slowdown injected into the new artifact must be reported as a
+// regression, while an identical artifact must not.
+func TestCompareFlagsInjectedSlowdown(t *testing.T) {
+	old := stubFile(t, 2)
+	same, err := Compare(old, old, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := same.Regressions(); len(regs) != 0 {
+		t.Fatalf("self-comparison flagged regressions: %+v", regs)
+	}
+
+	slow := copyFile(old)
+	for i := range slow.Circuits {
+		c := &slow.Circuits[i]
+		c.Total.MinNS = c.Total.MinNS * 125 / 100
+		c.Total.MeanNS = c.Total.MinNS
+		c.Total.MaxNS = c.Total.MinNS
+	}
+	rep, err := Compare(old, slow, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != len(old.Circuits) {
+		t.Fatalf("want %d total-time regressions, got %+v", len(old.Circuits), regs)
+	}
+	for _, d := range regs {
+		if !strings.HasSuffix(d.Metric, "/total") {
+			t.Fatalf("unexpected regression metric %q", d.Metric)
+		}
+		if d.Ratio < 1.2 {
+			t.Fatalf("ratio %v implausible for a 25%% slowdown", d.Ratio)
+		}
+	}
+}
+
+// copyFile deep-copies an artifact so tests can perturb one side of a
+// comparison without aliasing.
+func copyFile(f *File) *File {
+	out := *f
+	out.Circuits = append([]Circuit(nil), f.Circuits...)
+	for i := range out.Circuits {
+		out.Circuits[i].Stages = append([]StageTime(nil), f.Circuits[i].Stages...)
+	}
+	out.Kernels = append([]Kernel(nil), f.Kernels...)
+	return &out
+}
+
+// TestCompareToleratesNoise pins that a sub-threshold delta passes.
+func TestCompareToleratesNoise(t *testing.T) {
+	old := stubFile(t, 2)
+	noisy := copyFile(old)
+	for i := range noisy.Circuits {
+		c := &noisy.Circuits[i]
+		c.Total.MinNS = old.Circuits[i].Total.MinNS * 105 / 100
+		c.Total.MeanNS = c.Total.MinNS
+		c.Total.MaxNS = c.Total.MinNS
+	}
+	rep, err := Compare(old, noisy, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("5%% noise flagged as regression: %+v", regs)
+	}
+}
+
+// TestCompareReportsMissingMetrics pins that dropped coverage is
+// surfaced instead of silently passing.
+func TestCompareReportsMissingMetrics(t *testing.T) {
+	old := stubFile(t, 1)
+	cur := stubFile(t, 1)
+	cur.Circuits = cur.Circuits[:1]
+	rep, err := Compare(old, cur, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Missing) != 1 || !strings.Contains(rep.Missing[0], old.Circuits[1].Name) {
+		t.Fatalf("missing circuit not reported: %+v", rep.Missing)
+	}
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DocComment is the docs gate: every exported declaration in a non-test
+// file must carry a doc comment, and every package must have a package
+// comment. Exported means reachable API — methods on unexported types are
+// exempt (they are not part of the package surface), as are test files.
+// A doc comment on a grouped const/var/type block covers all of the
+// block's specs, matching godoc's rendering.
+var DocComment = &Analyzer{
+	Name: "doccomment",
+	Doc:  "exported declarations and packages carry doc comments (godoc completeness)",
+	Run:  runDocComment,
+}
+
+func runDocComment(pass *Pass) {
+	files := pass.SourceFiles()
+	if len(files) == 0 {
+		return
+	}
+	hasPkgDoc := false
+	for _, f := range files {
+		if !docEmpty(f.Doc) {
+			hasPkgDoc = true
+			break
+		}
+	}
+	if !hasPkgDoc {
+		pass.Reportf(files[0].Package, "package %s has no package comment", pass.Pkg.Name)
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(pass, d)
+			case *ast.GenDecl:
+				checkGenDoc(pass, d)
+			}
+		}
+	}
+}
+
+// docEmpty reports whether a comment group carries no prose.
+func docEmpty(cg *ast.CommentGroup) bool {
+	return cg == nil || strings.TrimSpace(cg.Text()) == ""
+}
+
+// checkFuncDoc flags exported functions and exported methods on exported
+// receiver types that lack a doc comment.
+func checkFuncDoc(pass *Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		recv := receiverIdent(d.Recv)
+		if recv == nil || !recv.IsExported() {
+			return
+		}
+		kind = "method " + recv.Name + "."
+	}
+	if docEmpty(d.Doc) {
+		if d.Recv != nil {
+			pass.Reportf(d.Pos(), "exported %s%s has no doc comment", kind, d.Name.Name)
+		} else {
+			pass.Reportf(d.Pos(), "exported %s %s has no doc comment", kind, d.Name.Name)
+		}
+	}
+}
+
+// receiverIdent unwraps a method receiver to its base type identifier
+// (through pointers and type-parameter instantiations).
+func receiverIdent(recv *ast.FieldList) *ast.Ident {
+	if recv == nil || len(recv.List) == 0 {
+		return nil
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// checkGenDoc flags exported const/var/type specs whose spec has no doc
+// comment and whose enclosing block has none either.
+func checkGenDoc(pass *Pass, d *ast.GenDecl) {
+	blockDoc := !docEmpty(d.Doc)
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() || blockDoc || !docEmpty(s.Doc) {
+				continue
+			}
+			pass.Reportf(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+		case *ast.ValueSpec:
+			// Trailing line comments (s.Comment) deliberately do not
+			// count: the gate wants real doc comments above the decl.
+			if blockDoc || !docEmpty(s.Doc) {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					pass.Reportf(s.Pos(), "exported %s %s has no doc comment", declKind(d), name.Name)
+					break
+				}
+			}
+		}
+	}
+}
+
+// declKind names a GenDecl's keyword for findings.
+func declKind(d *ast.GenDecl) string {
+	return d.Tok.String()
+}

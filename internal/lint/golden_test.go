@@ -119,6 +119,10 @@ func TestGoldenGeomBounds(t *testing.T) {
 	runGolden(t, "geombounds", "repro/internal/gbtest")
 }
 
+func TestGoldenDocComment(t *testing.T) {
+	runGolden(t, "doccomment", "repro/internal/dctest")
+}
+
 // TestSuppressionMalformed checks that a directive missing its reason is
 // itself reported under the "lint" pseudo-analyzer rather than silently
 // swallowing findings.

@@ -1,0 +1,50 @@
+// Package dcpkg is the tqeclint golden fixture for the doccomment
+// analyzer: exported declarations carry doc comments.
+package dcpkg
+
+// Documented is fine.
+type Documented struct{}
+
+type Bare struct{} // want `exported type Bare has no doc comment`
+
+// Hello is documented.
+func Hello() {}
+
+func World() {} // want `exported function World has no doc comment`
+
+func internal() {} // unexported: exempt
+
+// Method docs follow the same rule when the receiver type is exported.
+func (Documented) Ok() {}
+
+func (Documented) Nope() {} // want `exported method Documented.Nope has no doc comment`
+
+type hidden struct{}
+
+// Methods on unexported types are not package API.
+func (hidden) Exported() {}
+
+// Limit is documented.
+const Limit = 3
+
+const Bound = 4 // want `exported const Bound has no doc comment`
+
+// Grouped blocks are covered by the block comment.
+const (
+	A = 1
+	B = 2
+)
+
+var (
+	// V is documented per spec.
+	V int
+
+	W int // want `exported var W has no doc comment`
+)
+
+var x int // unexported: exempt
+
+// A documented block covers every grouped value.
+var (
+	Y int
+)

@@ -1,0 +1,167 @@
+package place
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/qc"
+)
+
+// corpus returns the seed-corpus circuits the multi-chain equivalence
+// tests sweep: the Fig. 4 motivating circuit, a T-gate circuit (TSL
+// reallocation active) and a benchmark-scale netlist.
+func corpus(t *testing.T) map[string]func() *qc.Circuit {
+	t.Helper()
+	return map[string]func() *qc.Circuit{
+		"three-cnot": func() *qc.Circuit {
+			c := qc.New("small", 3)
+			c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2), qc.CNOT(0, 2))
+			return c
+		},
+		"tgate": func() *qc.Circuit {
+			c := qc.New("tg", 2)
+			c.Append(qc.T(0), qc.CNOT(0, 1), qc.T(0), qc.T(1))
+			return c
+		},
+		"benchmark": func() *qc.Circuit {
+			spec, err := qc.BenchmarkByName("4gt10-v1_81")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return mustGen(t, spec)
+		},
+	}
+}
+
+// samePlacement asserts every derived field of two placements matches
+// exactly (bit-identical positions, tiers, cost, move count).
+func samePlacement(t *testing.T, label string, a, b *Placement) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Pos, b.Pos) {
+		t.Fatalf("%s: positions differ:\n%v\n%v", label, a.Pos, b.Pos)
+	}
+	if !reflect.DeepEqual(a.TierOf, b.TierOf) {
+		t.Fatalf("%s: tiers differ: %v vs %v", label, a.TierOf, b.TierOf)
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("%s: costs differ: %v vs %v", label, a.Cost, b.Cost)
+	}
+	if a.Moves != b.Moves {
+		t.Fatalf("%s: move counts differ: %d vs %d", label, a.Moves, b.Moves)
+	}
+	if a.WireLength != b.WireLength {
+		t.Fatalf("%s: wirelengths differ: %d vs %d", label, a.WireLength, b.WireLength)
+	}
+}
+
+// TestChainsOneMatchesSequential pins the tentpole equivalence contract:
+// for the whole seed corpus, Chains=1 must produce byte-identical output
+// to the plain sequential placer (runOnce), i.e. the multi-chain driver
+// adds no PRNG draws, no reordering and no extra moves for a lone chain.
+func TestChainsOneMatchesSequential(t *testing.T) {
+	for name, mk := range corpus(t) {
+		for _, seed := range []int64{1, 7, 42} {
+			cl, nets := pipeline(t, mk())
+			o := quickOpts(200)
+			o.Seed = seed
+			seq, err := runOnce(context.Background(), cl, nets, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.Chains = 1
+			chained, err := Run(cl, nets, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePlacement(t, name, seq, chained)
+		}
+	}
+}
+
+// TestChainsDeterministicForFixedSeed verifies the bit-identical-repro
+// contract for a fixed (seed, chains) pair, including under the race
+// detector where goroutine interleavings vary wildly between runs.
+func TestChainsDeterministicForFixedSeed(t *testing.T) {
+	for name, mk := range corpus(t) {
+		run := func() *Placement {
+			cl, nets := pipeline(t, mk())
+			o := quickOpts(200)
+			o.Seed = 5
+			o.Chains = 4
+			p, err := Run(cl, nets, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		samePlacement(t, name, run(), run())
+	}
+}
+
+// TestChainsProduceValidPlacement checks the structural invariants hold
+// for multi-chain results across chain counts.
+func TestChainsProduceValidPlacement(t *testing.T) {
+	for _, chains := range []int{2, 3, 4} {
+		cl, nets := pipeline(t, corpus(t)["tgate"]())
+		o := quickOpts(300)
+		o.Chains = chains
+		p, err := Run(cl, nets, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CheckNoOverlap(); err != nil {
+			t.Fatalf("chains=%d: %v", chains, err)
+		}
+		if err := p.CheckTimeOrdering(); err != nil {
+			t.Fatalf("chains=%d: %v", chains, err)
+		}
+	}
+}
+
+// TestChainsCancellation verifies that canceling a multi-chain run aborts
+// every chain without deadlocking the exchange barrier.
+func TestChainsCancellation(t *testing.T) {
+	cl, nets := pipeline(t, corpus(t)["benchmark"]())
+	o := quickOpts(100000)
+	o.Chains = 3
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, cl, nets, o)
+	if !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+// TestChainSeedDerivation pins the per-chain seed contract: chain 0 gets
+// the base seed verbatim, higher chains get distinct decorrelated seeds,
+// and the derivation is a pure function.
+func TestChainSeedDerivation(t *testing.T) {
+	if got := chainSeed(99, 0); got != 99 {
+		t.Fatalf("chain 0 seed = %d, want the base seed", got)
+	}
+	seen := map[int64]int{99: 0}
+	for k := 1; k < 16; k++ {
+		s := chainSeed(99, k)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("chains %d and %d share seed %d", prev, k, s)
+		}
+		seen[s] = k
+		if s != chainSeed(99, k) {
+			t.Fatalf("chain %d seed not reproducible", k)
+		}
+	}
+}
+
+// TestEffectiveChains pins the default-resolution rule.
+func TestEffectiveChains(t *testing.T) {
+	if got := (Options{Chains: 3}).EffectiveChains(); got != 3 {
+		t.Fatalf("explicit Chains ignored: %d", got)
+	}
+	got := (Options{}).EffectiveChains()
+	if got < 1 || got > 4 {
+		t.Fatalf("auto chains %d outside [1,4]", got)
+	}
+}

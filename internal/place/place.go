@@ -25,6 +25,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/bridge"
 	"repro/internal/bstar"
@@ -64,10 +65,20 @@ type Options struct {
 	InitialTemp, FinalTemp float64
 	// TierPitch overrides the tier z spacing (0 = DefaultTierPitch).
 	TierPitch int
-	// Restarts runs that many independent annealing chains concurrently
-	// (seeds Seed, Seed+1, …) and keeps the lowest-cost placement.
-	// 0 and 1 both mean a single chain.
+	// Restarts runs that many fully independent annealing chains
+	// concurrently (seeds Seed, Seed+1, …) without exchange and keeps the
+	// lowest-cost placement, ties broken by the lowest restart index.
+	// 0 and 1 both mean no restart fan-out. When set to 2 or more it takes
+	// precedence over Chains (legacy multi-start semantics).
 	Restarts int
+	// Chains runs that many cooperating SA chains concurrently with
+	// deterministic per-chain seeds derived from Seed and periodic
+	// best-cost exchange at temperature milestones; the lowest-cost chain
+	// wins, ties broken by the lowest chain index. 0 derives
+	// min(GOMAXPROCS, 4); 1 is byte-identical to the sequential placer.
+	// For a fixed (Seed, Chains) pair the result is bit-identical across
+	// runs.
+	Chains int
 }
 
 // DefaultOptions returns the paper's parameterization.
@@ -121,54 +132,54 @@ func RunContext(ctx context.Context, cl *cluster.Clustering, nets []bridge.Net, 
 	}
 	restarts := opts.Restarts
 	if restarts < 2 {
-		return runOnce(ctx, cl, nets, opts)
+		return runChains(ctx, cl, nets, opts, opts.EffectiveChains())
 	}
 	type outcome struct {
 		p   *Placement
 		err error
 	}
-	results := make(chan outcome, restarts)
+	results := make([]outcome, restarts)
+	var wg sync.WaitGroup
 	for k := 0; k < restarts; k++ {
 		o := opts
 		o.Seed = opts.Seed + int64(k)
-		go func(o Options) {
+		wg.Add(1)
+		go func(k int, o Options) {
+			defer wg.Done()
 			// A panic in a restart chain must not crash the process: the
 			// pipeline's recover guard only covers the calling goroutine.
 			defer func() {
 				if r := recover(); r != nil {
-					results <- outcome{err: fmt.Errorf("place: %w: restart chain: %v", faults.ErrPanic, r)}
+					results[k] = outcome{err: fmt.Errorf("place: %w: restart chain: %v", faults.ErrPanic, r)}
 				}
 			}()
 			p, err := runOnce(ctx, cl, nets, o)
-			results <- outcome{p: p, err: err}
-		}(o)
+			results[k] = outcome{p: p, err: err}
+		}(k, o)
 	}
+	wg.Wait()
+	// Deterministic selection: errors and cost ties resolve by restart
+	// index, never by goroutine completion order.
 	var best *Placement
-	var firstErr error
-	for k := 0; k < restarts; k++ {
-		r := <-results
+	for _, r := range results {
 		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
-			}
-			continue
+			return nil, r.err
 		}
 		if best == nil || r.p.Cost < best.Cost {
 			best = r.p
 		}
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
 	return best, nil
 }
 
+// runOnce anneals a single sequential chain (the pre-multi-chain code
+// path; Chains=1 reduces to exactly this).
 func runOnce(ctx context.Context, cl *cluster.Clustering, nets []bridge.Net, opts Options) (*Placement, error) {
 	e, err := newEngine(cl, nets, opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.anneal(ctx); err != nil {
+	if err := e.anneal(ctx, nil, 0); err != nil {
 		return nil, err
 	}
 	return e.extract(), nil
@@ -576,7 +587,14 @@ func (e *engine) perturb() *move {
 // anneal runs the SA loop with a geometric cooling schedule, tracking the
 // best forest seen. The context is checked every cancelCheckInterval moves
 // so a deadline aborts within a bounded number of perturbations.
-func (e *engine) anneal(ctx context.Context) error {
+//
+// With a non-nil exchanger the chain synchronizes with its peers at the
+// exchanger's iteration milestones and adopts the global best forest when
+// it is strictly better than its own (a strictly-better rule keeps a
+// Chains=1 run byte-identical to the sequential placer: a lone chain never
+// adopts its own best). Exchange consumes no PRNG draws, so the trajectory
+// between milestones is exactly the single-chain trajectory.
+func (e *engine) anneal(ctx context.Context, ex *exchanger, chain int) error {
 	cur := e.cost()
 	e.bestTrees, e.bestTierOf = e.snapshot()
 	e.bestCost = cur
@@ -585,10 +603,23 @@ func (e *engine) anneal(ctx context.Context) error {
 	decay := math.Pow(tEnd/t0, 1/math.Max(1, float64(n)))
 	temp := t0
 	sinceBest := 0
+	nextMilestone := 0
 	for it := 0; it < n; it++ {
 		if it%cancelCheckInterval == 0 {
 			if err := faults.Canceled(ctx); err != nil {
 				return fmt.Errorf("place: SA aborted after %d/%d moves: %w", it, n, err)
+			}
+		}
+		if ex != nil && nextMilestone < len(ex.milestones) && it == ex.milestones[nextMilestone] {
+			nextMilestone++
+			best := ex.exchange(chain, e.bestCost, e.bestTrees, e.bestTierOf)
+			if best.valid && best.chain != chain && best.cost < e.bestCost {
+				e.bestCost = best.cost
+				e.bestTrees = cloneTrees(best.trees, e.blocks)
+				e.bestTierOf = append([]int(nil), best.tierOf...)
+				e.restoreBest()
+				cur = e.bestCost
+				sinceBest = 0
 			}
 		}
 		mv := e.perturb()

@@ -1,0 +1,289 @@
+package route
+
+import (
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// denseGridLimit bounds the cell count up to which world-wide per-cell
+// state (static obstacles, net ownership, pin ownership, congestion
+// history) is stored in flat arrays indexed by a region-local cell index.
+// Larger worlds fall back to the original hash maps: a pathological
+// bounding volume must not force a multi-hundred-megabyte allocation.
+const denseGridLimit = 4 << 20
+
+// denseSearchLimit bounds the search-region volume up to which one A*
+// attempt uses pooled flat-array scratch state. Regions beyond it (only
+// the whole-world fallback on extreme layouts) use the map-based search.
+// A variable rather than a constant so tests can force the sparse path.
+var denseSearchLimit = 4 << 20
+
+// cellIndexer maps lattice cells of a bounding box to dense linear
+// indices in a fixed x-major, then y, then z order.
+type cellIndexer struct {
+	box    geom.Box
+	ny, nz int
+}
+
+// newCellIndexer builds an indexer over b.
+func newCellIndexer(b geom.Box) cellIndexer {
+	return cellIndexer{box: b, ny: b.Dy(), nz: b.Dz()}
+}
+
+// volume returns the number of indexable cells.
+func (ci cellIndexer) volume() int { return ci.box.Volume() }
+
+// index returns the linear index of p, which must lie inside the box.
+func (ci cellIndexer) index(p geom.Point) int {
+	return ((p.X-ci.box.Min.X)*ci.ny+(p.Y-ci.box.Min.Y))*ci.nz + (p.Z - ci.box.Min.Z)
+}
+
+// point is the inverse of index.
+func (ci cellIndexer) point(i int) geom.Point {
+	z := i % ci.nz
+	i /= ci.nz
+	y := i % ci.ny
+	x := i / ci.ny
+	return geom.Pt(ci.box.Min.X+x, ci.box.Min.Y+y, ci.box.Min.Z+z)
+}
+
+// grid holds the router's per-cell world state: static obstacles, net
+// ownership, pin ownership and congestion history. Worlds up to
+// denseGridLimit cells use flat arrays indexed by cellIndexer (the A*
+// inner loop then runs without a single map operation); larger worlds
+// degrade to the original hash maps transparently.
+type grid struct {
+	world geom.Box
+	dense bool
+	idx   cellIndexer
+
+	static []bool
+	netAt  []int32
+	pinAt  []int32
+	hist   []float64
+
+	staticM map[geom.Point]bool
+	netAtM  map[geom.Point]int
+	pinAtM  map[geom.Point]int
+	histM   map[geom.Point]float64
+}
+
+// newGrid builds the per-cell state store for the given routable world.
+func newGrid(world geom.Box) *grid {
+	g := &grid{world: world}
+	if v := world.Volume(); v > 0 && v <= denseGridLimit {
+		g.dense = true
+		g.idx = newCellIndexer(world)
+		g.static = make([]bool, v)
+		g.netAt = make([]int32, v)
+		g.pinAt = make([]int32, v)
+		g.hist = make([]float64, v)
+		for i := range g.netAt {
+			g.netAt[i] = -1
+			g.pinAt[i] = -1
+		}
+		return g
+	}
+	g.staticM = map[geom.Point]bool{}
+	g.netAtM = map[geom.Point]int{}
+	g.pinAtM = map[geom.Point]int{}
+	g.histM = map[geom.Point]float64{}
+	return g
+}
+
+// in reports whether p is indexable (inside the world). Out-of-world
+// cells carry no state; callers only probe cells inside search regions,
+// which are clamped to the world.
+func (g *grid) in(p geom.Point) bool { return g.world.Contains(p) }
+
+// setStatic marks p as a static obstacle cell.
+func (g *grid) setStatic(p geom.Point) {
+	if !g.in(p) {
+		return
+	}
+	if g.dense {
+		g.static[g.idx.index(p)] = true
+		return
+	}
+	g.staticM[p] = true
+}
+
+// isStatic reports whether p is a static obstacle cell.
+func (g *grid) isStatic(p geom.Point) bool {
+	if !g.in(p) {
+		return false
+	}
+	if g.dense {
+		return g.static[g.idx.index(p)]
+	}
+	return g.staticM[p]
+}
+
+// setNet records net id as the owner of cell p (first owner wins is the
+// caller's rule; setNet overwrites unconditionally).
+func (g *grid) setNet(p geom.Point, id int) {
+	if !g.in(p) {
+		return
+	}
+	if g.dense {
+		g.netAt[g.idx.index(p)] = int32(id)
+		return
+	}
+	g.netAtM[p] = id
+}
+
+// clearNet removes net id's ownership of p if it is the recorded owner.
+func (g *grid) clearNet(p geom.Point, id int) {
+	if !g.in(p) {
+		return
+	}
+	if g.dense {
+		i := g.idx.index(p)
+		if g.netAt[i] == int32(id) {
+			g.netAt[i] = -1
+		}
+		return
+	}
+	if g.netAtM[p] == id {
+		delete(g.netAtM, p)
+	}
+}
+
+// netOwner returns the net occupying p, if any.
+func (g *grid) netOwner(p geom.Point) (int, bool) {
+	if !g.in(p) {
+		return 0, false
+	}
+	if g.dense {
+		if id := g.netAt[g.idx.index(p)]; id >= 0 {
+			return int(id), true
+		}
+		return 0, false
+	}
+	id, ok := g.netAtM[p]
+	return id, ok
+}
+
+// setPin records pin pid as owning cell p.
+func (g *grid) setPin(p geom.Point, pid int) {
+	if !g.in(p) {
+		return
+	}
+	if g.dense {
+		g.pinAt[g.idx.index(p)] = int32(pid)
+		return
+	}
+	g.pinAtM[p] = pid
+}
+
+// pinOwner returns the pin homed at p, if any.
+func (g *grid) pinOwner(p geom.Point) (int, bool) {
+	if !g.in(p) {
+		return 0, false
+	}
+	if g.dense {
+		if pid := g.pinAt[g.idx.index(p)]; pid >= 0 {
+			return int(pid), true
+		}
+		return 0, false
+	}
+	pid, ok := g.pinAtM[p]
+	return pid, ok
+}
+
+// histAt returns the accumulated congestion history charge of p.
+func (g *grid) histAt(p geom.Point) float64 {
+	if !g.in(p) {
+		return 0
+	}
+	if g.dense {
+		return g.hist[g.idx.index(p)]
+	}
+	return g.histM[p]
+}
+
+// histAdd charges v onto p's congestion history.
+func (g *grid) histAdd(p geom.Point, v float64) {
+	if !g.in(p) {
+		return
+	}
+	if g.dense {
+		g.hist[g.idx.index(p)] += v
+		return
+	}
+	g.histM[p] += v
+}
+
+// histStats returns the number of cells carrying history charge and the
+// maximum charge. Both are order-independent aggregates, so the result is
+// identical for the dense array walk and the map fallback regardless of
+// iteration order.
+func (g *grid) histStats() (cells int, maxCharge float64) {
+	if g.dense {
+		for _, h := range g.hist {
+			if h > 0 {
+				cells++
+				if h > maxCharge {
+					maxCharge = h
+				}
+			}
+		}
+		return cells, maxCharge
+	}
+	for _, h := range g.histM {
+		if h > 0 {
+			cells++
+			if h > maxCharge {
+				maxCharge = h
+			}
+		}
+	}
+	return cells, maxCharge
+}
+
+// scratch is the per-search A* state: g-scores, parent links and a
+// generation stamp per region cell, plus the open heap. Generation
+// stamping makes reuse O(1) — a search bumps gen instead of clearing the
+// arrays — and the pool recycles scratches across searches and nets.
+type scratch struct {
+	capacity int
+	g        []float64
+	parent   []int32
+	gen      []uint32
+	cur      uint32
+	open     pq
+}
+
+// scratchPool recycles A* scratch buffers; one scratch is checked out per
+// in-flight search (concurrent searches each take their own).
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+// reset prepares the scratch for a region of the given volume.
+func (s *scratch) reset(volume int) {
+	if volume > s.capacity {
+		s.g = make([]float64, volume)
+		s.parent = make([]int32, volume)
+		s.gen = make([]uint32, volume)
+		s.capacity = volume
+		s.cur = 0
+	}
+	s.cur++
+	if s.cur == 0 { // generation counter wrapped: invalidate everything
+		for i := range s.gen {
+			s.gen[i] = 0
+		}
+		s.cur = 1
+	}
+	s.open = s.open[:0]
+}
+
+// seen reports whether cell index i has a g-score in this generation.
+func (s *scratch) seen(i int) bool { return s.gen[i] == s.cur }
+
+// setG records g-score v for cell index i in this generation.
+func (s *scratch) setG(i int, v float64, parent int32) {
+	s.gen[i] = s.cur
+	s.g[i] = v
+	s.parent[i] = parent
+}

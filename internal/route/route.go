@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bridge"
 	"repro/internal/faults"
@@ -49,8 +50,17 @@ type Options struct {
 	Fallback bool
 	// FailNet, when non-nil, forces the listed nets to fail their normal
 	// routing attempts (fault injection for degradation tests). Fallback
-	// rescue attempts are not affected.
+	// rescue attempts are not affected. Unless Serial is set, FailNet may
+	// be called from concurrent first-pass searches and must be safe for
+	// concurrent use.
 	FailNet func(id int) bool
+	// Serial disables the concurrent first pass: every net is searched on
+	// the calling goroutine even when search regions are disjoint. The
+	// parallel first pass only co-schedules nets whose search regions are
+	// pairwise disjoint and commits results in net order, so it is exactly
+	// equivalent to the serial pass; Serial exists for debugging and for
+	// benchmarking the difference.
+	Serial bool
 }
 
 // DefaultOptions returns the standard configuration. The expansion and
@@ -146,26 +156,22 @@ type router struct {
 	inFallback bool
 
 	static *rtree.Tree // module bodies and distillation boxes
-	// staticCells rasterizes the static obstacles for O(1) per-cell
-	// legality checks in the A* inner loop (the R-tree serves window
-	// queries and bounds).
-	staticCells map[geom.Point]bool
+
+	// grid holds the per-cell world state — rasterized static obstacles,
+	// net ownership (a cell is recorded for its first owner only; friend
+	// endpoints may coincide), pin ownership and congestion history — in
+	// dense flat arrays for O(1) map-free probes in the A* inner loop
+	// (with a hash-map fallback above denseGridLimit cells).
+	grid *grid
 
 	pinCell map[int]geom.Point // pin ID -> cell
-	cellPin map[geom.Point]int // reverse (pins have unique cells)
-
-	// netAt records which net occupies a cell; a cell is recorded for its
-	// first owner only (friend endpoints may coincide).
-	netAt  map[geom.Point]int
-	routes map[int]geom.Path
+	routes  map[int]geom.Path
 	// routeBounds caches each routed path's bounding box so rip-up
 	// victim scans can skip distant nets cheaply.
 	routeBounds map[int]geom.Box
 
 	// friends[pin] lists net IDs sharing the pin.
 	friends map[int][]int
-
-	history map[geom.Point]float64
 
 	// world clamps all search regions.
 	world geom.Box
@@ -198,14 +204,10 @@ func RunContext(ctx context.Context, p *place.Placement, opts Options) (*Result,
 		opts:        opts,
 		ctx:         ctx,
 		static:      rtree.New(),
-		staticCells: map[geom.Point]bool{},
 		pinCell:     map[int]geom.Point{},
-		cellPin:     map[geom.Point]int{},
-		netAt:       map[geom.Point]int{},
 		routes:      map[int]geom.Path{},
 		routeBounds: map[int]geom.Box{},
 		friends:     map[int][]int{},
-		history:     map[geom.Point]float64{},
 		result:      &Result{Routes: map[int]geom.Path{}},
 	}
 	if err := r.build(); err != nil {
@@ -232,14 +234,20 @@ func (r *router) checkCtx() bool {
 	return false
 }
 
-// build populates obstacles, pin cells and friend groups.
+// build populates obstacles, pin cells, friend groups and the per-cell
+// grid. The grid is indexed by the routable world, which depends on the
+// homed pin cells, so obstacles and pins first land in temporary maps
+// (which homePin also consults) and are transferred once the world is
+// known.
 func (r *router) build() error {
 	cl := r.p.Clust
+	staticCells := map[geom.Point]bool{}
+	cellPin := map[geom.Point]int{}
 	rasterize := func(b geom.Box) {
 		for x := b.Min.X; x < b.Max.X; x++ {
 			for y := b.Min.Y; y < b.Max.Y; y++ {
 				for z := b.Min.Z; z < b.Max.Z; z++ {
-					r.staticCells[geom.Pt(x, y, z)] = true
+					staticCells[geom.Pt(x, y, z)] = true
 				}
 			}
 		}
@@ -262,12 +270,12 @@ func (r *router) build() error {
 			if err != nil {
 				return fmt.Errorf("route: net %d: %w", n.ID, err)
 			}
-			pos, err = r.homePin(pid, pos)
+			pos, err = r.homePin(pid, pos, staticCells, cellPin)
 			if err != nil {
 				return fmt.Errorf("route: net %d: %w", n.ID, err)
 			}
 			r.pinCell[pid] = pos
-			r.cellPin[pos] = pid
+			cellPin[pos] = pid
 		}
 		r.friends[n.PinA] = append(r.friends[n.PinA], n.ID)
 		r.friends[n.PinB] = append(r.friends[n.PinB], n.ID)
@@ -279,6 +287,16 @@ func (r *router) build() error {
 		bounds = bounds.UnionPoint(c)
 	}
 	r.world = bounds.Expand(6 + 2*r.opts.MaxIterations*r.opts.ExpandStep)
+	// Transfer the build-time maps into the world-indexed grid. Both
+	// transfers only set independent per-cell flags, so map iteration
+	// order cannot influence the result.
+	r.grid = newGrid(r.world)
+	for c := range staticCells {
+		r.grid.setStatic(c)
+	}
+	for c, pid := range cellPin {
+		r.grid.setPin(c, pid)
+	}
 	return nil
 }
 
@@ -287,12 +305,12 @@ func (r *router) build() error {
 // pin of the adjacent tier or sit inside an obstacle. The dual segment may
 // exit its primal ring anywhere along the opening, so the pin is rehomed
 // to the nearest free cell in the same plane above/below its module body.
-func (r *router) homePin(pid int, pos geom.Point) (geom.Point, error) {
+func (r *router) homePin(pid int, pos geom.Point, staticCells map[geom.Point]bool, cellPin map[geom.Point]int) (geom.Point, error) {
 	free := func(c geom.Point) bool {
-		if r.staticCells[c] {
+		if staticCells[c] {
 			return false
 		}
-		_, taken := r.cellPin[c]
+		_, taken := cellPin[c]
 		return !taken
 	}
 	if free(pos) {
@@ -348,16 +366,9 @@ func (r *router) route() {
 		margin[i] = r.opts.InitialMargin
 	}
 
-	var failed []int
-	for _, idx := range order {
-		if r.checkCtx() {
-			return
-		}
-		if r.tryRoute(r.nets[idx], margin[idx]) {
-			r.result.FirstPassRouted++
-		} else {
-			failed = append(failed, idx)
-		}
+	failed := r.firstPass(order, margin)
+	if r.ctxErr != nil {
+		return
 	}
 	r.result.Iterations = 1
 
@@ -429,6 +440,68 @@ func (r *router) route() {
 	}
 	sort.Ints(exhausted)
 	r.degrade(exhausted, attempts, margin)
+}
+
+// firstPass routes every net once, in the given order, and returns the
+// indices of the nets that failed. Unless Options.Serial is set, it
+// peels maximal prefixes of the remaining order whose search regions are
+// pairwise disjoint (checked against an R-tree of the batch's regions)
+// and searches each batch concurrently, committing results serially in
+// net order. Because a committed path never leaves its net's search
+// region and friend nets always share a pin cell (hence overlapping
+// regions), a batch member can neither block nor feed another, so the
+// outcome is exactly the serial pass's.
+func (r *router) firstPass(order, margin []int) (failed []int) {
+	for len(order) > 0 {
+		if r.checkCtx() {
+			return failed
+		}
+		batch := r.disjointPrefix(order, margin)
+		paths := make([]geom.Path, len(batch))
+		if len(batch) == 1 {
+			paths[0] = r.searchNet(r.nets[batch[0]], margin[batch[0]])
+		} else {
+			var wg sync.WaitGroup
+			for bi, idx := range batch {
+				wg.Add(1)
+				go func(bi, idx int) {
+					defer wg.Done()
+					paths[bi] = r.searchNet(r.nets[idx], margin[idx])
+				}(bi, idx)
+			}
+			wg.Wait()
+		}
+		for bi, idx := range batch {
+			if paths[bi] != nil {
+				r.commit(r.nets[idx], paths[bi])
+				r.result.FirstPassRouted++
+			} else {
+				failed = append(failed, idx)
+			}
+		}
+		order = order[len(batch):]
+	}
+	return failed
+}
+
+// disjointPrefix returns the maximal prefix of order whose search
+// regions are pairwise disjoint (always at least one net). With
+// Options.Serial set every batch is a single net.
+func (r *router) disjointPrefix(order, margin []int) []int {
+	if r.opts.Serial {
+		return order[:1]
+	}
+	regions := rtree.New()
+	n := 0
+	for _, idx := range order {
+		region := r.searchRegion(r.nets[idx], margin[idx])
+		if n > 0 && regions.Intersects(region) {
+			break
+		}
+		regions.Insert(region, idx)
+		n++
+	}
+	return order[:n]
 }
 
 // degrade handles the nets left unrouted after the negotiation rounds:
@@ -520,10 +593,8 @@ func (r *router) ripUpRegion(region geom.Box, exceptNet int) []int {
 	var out []int
 	for id := range victims {
 		for _, c := range r.routes[id] {
-			r.history[c] += 1.0
-			if r.netAt[c] == id {
-				delete(r.netAt, c)
-			}
+			r.grid.histAdd(c, 1.0)
+			r.grid.clearNet(c, id)
 		}
 		delete(r.routes, id)
 		delete(r.routeBounds, id)
@@ -578,9 +649,7 @@ func (r *router) danglingNets() []int {
 // history (used by terminal repair, which is not a congestion event).
 func (r *router) uncommit(id int) {
 	for _, c := range r.routes[id] {
-		if r.netAt[c] == id {
-			delete(r.netAt, c)
-		}
+		r.grid.clearNet(c, id)
 	}
 	delete(r.routes, id)
 	delete(r.routeBounds, id)
@@ -642,30 +711,13 @@ func (r *router) endpointSets(n bridge.Net) (starts, targets map[geom.Point]bool
 	return starts, targets
 }
 
-// tryRoute attempts to route one net within its current search region.
+// tryRoute attempts to route one net within its current search region,
+// committing the path on success.
 func (r *router) tryRoute(n bridge.Net, margin int) bool {
 	if _, done := r.routes[n.ID]; done {
 		return true
 	}
-	// Fault injection: force this net's normal attempts to fail so
-	// degradation paths can be exercised under test. The fallback rescue
-	// phase is exempt.
-	if r.opts.FailNet != nil && !r.inFallback && r.opts.FailNet(n.ID) {
-		return false
-	}
-	starts, targets := r.endpointSets(n)
-	// Degenerate: a start cell that is already a target (friend paths
-	// touching) routes with a single-cell path.
-	for c := range starts {
-		if targets[c] {
-			r.commit(n, geom.Path{c})
-			return true
-		}
-	}
-	region := r.searchRegion(n, margin)
-	// Region must cover all explicit endpoints; friend cells outside are
-	// simply unusable this attempt.
-	path := r.astar(n, starts, targets, region)
+	path := r.searchNet(n, margin)
 	if path == nil {
 		return false
 	}
@@ -673,25 +725,55 @@ func (r *router) tryRoute(n bridge.Net, margin int) bool {
 	return true
 }
 
+// searchNet finds a path for one net within its current search region
+// without committing it. It mutates no router state, so independent nets
+// may search concurrently; the caller must not have routed n already.
+func (r *router) searchNet(n bridge.Net, margin int) geom.Path {
+	// Fault injection: force this net's normal attempts to fail so
+	// degradation paths can be exercised under test. The fallback rescue
+	// phase is exempt.
+	if r.opts.FailNet != nil && !r.inFallback && r.opts.FailNet(n.ID) {
+		return nil
+	}
+	starts, targets := r.endpointSets(n)
+	// Degenerate: a start cell that is already a target (friend paths
+	// touching) routes with a single-cell path; the lowest such cell in
+	// (Z, Y, X) order wins so the choice never depends on map iteration.
+	var deg geom.Point
+	haveDeg := false
+	for c := range starts {
+		if targets[c] && (!haveDeg || cellLess(c, deg)) {
+			deg, haveDeg = c, true
+		}
+	}
+	if haveDeg {
+		return geom.Path{deg}
+	}
+	region := r.searchRegion(n, margin)
+	// Region must cover all explicit endpoints; friend cells outside are
+	// simply unusable this attempt.
+	return r.astar(n, starts, targets, region)
+}
+
 func (r *router) commit(n bridge.Net, path geom.Path) {
 	r.routes[n.ID] = path
 	r.routeBounds[n.ID] = path.Bounds()
 	for _, c := range path {
-		if _, occ := r.netAt[c]; !occ {
-			r.netAt[c] = n.ID
+		if _, occ := r.grid.netOwner(c); !occ {
+			r.grid.setNet(c, n.ID)
 		}
 	}
 }
 
 // blocked reports whether net n may not occupy cell c.
 func (r *router) blocked(n bridge.Net, c geom.Point) bool {
-	if owner, occ := r.netAt[c]; occ && owner != n.ID {
+	if owner, occ := r.grid.netOwner(c); occ && owner != n.ID {
 		return true
 	}
-	if pid, isPin := r.cellPin[c]; isPin && pid != n.PinA && pid != n.PinB {
+	if pid, isPin := r.grid.pinOwner(c); isPin && pid != n.PinA && pid != n.PinB {
 		return true // foreign pin access cell
 	}
-	return r.staticCells[c]
+	return r.grid.isStatic(c)
 }
 
 // pqItem is an A* frontier entry.
@@ -701,6 +783,19 @@ type pqItem struct {
 }
 
 type pq []pqItem
+
+// cellLess orders cells by (Z, Y, X); the router's deterministic
+// tie-breaker wherever an arbitrary-but-reproducible cell choice is
+// needed.
+func cellLess(a, b geom.Point) bool {
+	if a.Z != b.Z {
+		return a.Z < b.Z
+	}
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
 
 func (q pq) Len() int { return len(q) }
 func (q pq) Less(i, j int) bool {
@@ -712,47 +807,69 @@ func (q pq) Less(i, j int) bool {
 	if q[i].g != q[j].g {
 		return q[i].g < q[j].g
 	}
-	a, b := q[i].cell, q[j].cell
-	if a.Z != b.Z {
-		return a.Z < b.Z
-	}
-	if a.Y != b.Y {
-		return a.Y < b.Y
-	}
-	return a.X < b.X
+	return cellLess(q[i].cell, q[j].cell)
 }
 func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *pq) Push(x any)         { *q = append(*q, x.(pqItem)) }
 func (q *pq) Pop() any           { it := (*q)[len(*q)-1]; *q = (*q)[:len(*q)-1]; return it }
 func (q *pq) PushItem(it pqItem) { heap.Push(q, it) }
 
+// searchCanceled polls the context without caching the error; unlike
+// checkCtx it writes no router state, so concurrent searches may call it.
+// The serial phases rediscover the cancellation through checkCtx at the
+// next loop boundary.
+func (r *router) searchCanceled() bool {
+	return faults.Canceled(r.ctx) != nil
+}
+
+// boxDistance returns the Manhattan distance from c to box b — the A*
+// heuristic for a multi-target search (admissible: every target lies in
+// the targets' bounding box).
+func boxDistance(c geom.Point, b geom.Box) float64 {
+	d := 0
+	if c.X < b.Min.X {
+		d += b.Min.X - c.X
+	} else if c.X >= b.Max.X {
+		d += c.X - (b.Max.X - 1)
+	}
+	if c.Y < b.Min.Y {
+		d += b.Min.Y - c.Y
+	} else if c.Y >= b.Max.Y {
+		d += c.Y - (b.Max.Y - 1)
+	}
+	if c.Z < b.Min.Z {
+		d += b.Min.Z - c.Z
+	} else if c.Z >= b.Max.Z {
+		d += c.Z - (b.Max.Z - 1)
+	}
+	return float64(d)
+}
+
+// sortedStarts returns the in-region start cells in deterministic
+// (Z, Y, X) order; out-of-region friend cells are unusable this attempt.
+func sortedStarts(starts map[geom.Point]bool, region geom.Box) []geom.Point {
+	cells := make([]geom.Point, 0, len(starts))
+	for c := range starts {
+		if region.Contains(c) {
+			cells = append(cells, c)
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool { return cellLess(cells[i], cells[j]) })
+	return cells
+}
+
 // astar searches a cheapest path from any start to any target within the
 // region. The heuristic is the Manhattan distance to the targets' bounding
-// box (admissible for a multi-target search).
+// box. Regions up to denseSearchLimit cells (all but degenerate
+// whole-world rescues) run on pooled flat-array scratch state; larger
+// ones fall back to hash maps. Both variants expand nodes in the exact
+// same deterministic order and return identical paths.
 func (r *router) astar(n bridge.Net, starts, targets map[geom.Point]bool, region geom.Box) geom.Path {
 	var tbox geom.Box
 	for c := range targets {
 		tbox = tbox.UnionPoint(c)
 	}
-	h := func(c geom.Point) float64 {
-		d := 0
-		if c.X < tbox.Min.X {
-			d += tbox.Min.X - c.X
-		} else if c.X >= tbox.Max.X {
-			d += c.X - (tbox.Max.X - 1)
-		}
-		if c.Y < tbox.Min.Y {
-			d += tbox.Min.Y - c.Y
-		} else if c.Y >= tbox.Max.Y {
-			d += c.Y - (tbox.Max.Y - 1)
-		}
-		if c.Z < tbox.Min.Z {
-			d += tbox.Min.Z - c.Z
-		} else if c.Z >= tbox.Max.Z {
-			d += c.Z - (tbox.Max.Z - 1)
-		}
-		return float64(d)
-	}
+	h := func(c geom.Point) float64 { return boxDistance(c, tbox) }
 
 	// A region can never yield more useful expansions than it has cells.
 	maxExp := r.opts.MaxExpansions
@@ -764,29 +881,76 @@ func (r *router) astar(n bridge.Net, starts, targets map[geom.Point]bool, region
 	if v := region.Volume(); v < maxExp {
 		maxExp = v
 	}
+	if region.Volume() <= denseSearchLimit {
+		return r.astarDense(n, starts, targets, region, h, maxExp)
+	}
+	return r.astarSparse(n, starts, targets, region, h, maxExp)
+}
 
+// astarDense is the hot-path A*: g-scores, parent links and the visited
+// set live in pooled generation-stamped flat arrays indexed by the
+// region-local cell index, so the inner loop performs no map operations
+// and no per-search allocations beyond heap growth.
+func (r *router) astarDense(n bridge.Net, starts, targets map[geom.Point]bool, region geom.Box, h func(geom.Point) float64, maxExp int) geom.Path {
+	ci := newCellIndexer(region)
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	s.reset(ci.volume())
+	open := &s.open
+	for _, c := range sortedStarts(starts, region) {
+		s.setG(ci.index(c), 0, -1)
+		open.PushItem(pqItem{cell: c, g: 0, f: h(c)})
+	}
+	expansions := 0
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(pqItem)
+		curIdx := ci.index(cur.cell)
+		if cur.g > s.g[curIdx] {
+			continue // stale entry
+		}
+		if targets[cur.cell] {
+			// Reconstruct by walking the parent indices (-1 marks a start).
+			var path geom.Path
+			for i := int32(curIdx); i >= 0; i = s.parent[i] {
+				path = append(path, ci.point(int(i)))
+			}
+			return path.Reverse()
+		}
+		expansions++
+		if expansions > maxExp {
+			return nil
+		}
+		if expansions%cancelCheckExpansions == 0 && r.searchCanceled() {
+			return nil
+		}
+		for _, d := range geom.Dirs6 {
+			next := cur.cell.Step(d)
+			if !region.Contains(next) {
+				continue
+			}
+			// Targets are enterable even when occupied by a friend path.
+			if !targets[next] && r.blocked(n, next) {
+				continue
+			}
+			ng := cur.g + 1 + r.opts.HistoryWeight*r.grid.histAt(next)
+			ni := ci.index(next)
+			if s.seen(ni) && ng >= s.g[ni] {
+				continue
+			}
+			s.setG(ni, ng, int32(curIdx))
+			open.PushItem(pqItem{cell: next, g: ng, f: ng + h(next)})
+		}
+	}
+	return nil
+}
+
+// astarSparse is the map-based fallback for regions whose volume exceeds
+// the dense scratch limit; same algorithm, same expansion order.
+func (r *router) astarSparse(n bridge.Net, starts, targets map[geom.Point]bool, region geom.Box, h func(geom.Point) float64, maxExp int) geom.Path {
 	open := &pq{}
 	gScore := map[geom.Point]float64{}
 	parent := map[geom.Point]geom.Point{}
-	inPath := map[geom.Point]bool{}
-	startCells := make([]geom.Point, 0, len(starts))
-	for c := range starts {
-		startCells = append(startCells, c)
-	}
-	sort.Slice(startCells, func(i, j int) bool {
-		a, b := startCells[i], startCells[j]
-		if a.Z != b.Z {
-			return a.Z < b.Z
-		}
-		if a.Y != b.Y {
-			return a.Y < b.Y
-		}
-		return a.X < b.X
-	})
-	for _, c := range startCells {
-		if !region.Contains(c) {
-			continue
-		}
+	for _, c := range sortedStarts(starts, region) {
 		gScore[c] = 0
 		open.PushItem(pqItem{cell: c, g: 0, f: h(c)})
 	}
@@ -814,19 +978,19 @@ func (r *router) astar(n bridge.Net, starts, targets map[geom.Point]bool, region
 		if expansions > maxExp {
 			return nil
 		}
-		if expansions%cancelCheckExpansions == 0 && r.checkCtx() {
+		if expansions%cancelCheckExpansions == 0 && r.searchCanceled() {
 			return nil
 		}
 		for _, d := range geom.Dirs6 {
 			next := cur.cell.Step(d)
-			if !region.Contains(next) || inPath[next] {
+			if !region.Contains(next) {
 				continue
 			}
 			// Targets are enterable even when occupied by a friend path.
 			if !targets[next] && r.blocked(n, next) {
 				continue
 			}
-			ng := cur.g + 1 + r.opts.HistoryWeight*r.history[next]
+			ng := cur.g + 1 + r.opts.HistoryWeight*r.grid.histAt(next)
 			if old, seen := gScore[next]; seen && ng >= old {
 				continue
 			}
@@ -838,14 +1002,12 @@ func (r *router) astar(n bridge.Net, starts, targets map[geom.Point]bool, region
 	return nil
 }
 
-// finish records routes and computes the final bounds.
+// finish records routes and computes the final bounds. The history
+// statistics come from grid.histStats, an order-independent aggregate,
+// so the reported counts are identical across runs regardless of storage
+// (dense array or map fallback).
 func (r *router) finish() {
-	for _, h := range r.history {
-		r.result.HistoryCells++
-		if h > r.result.MaxHistory {
-			r.result.MaxHistory = h
-		}
-	}
+	r.result.HistoryCells, r.result.MaxHistory = r.grid.histStats()
 	b := r.p.Bounds()
 	for id, path := range r.routes {
 		r.result.Routes[id] = path
