@@ -51,11 +51,12 @@ func main() {
 	benchIters := flag.Int("bench-iters", 3, "pipeline runs per circuit for -bench-out")
 	benchKernels := flag.Bool("bench-kernels", false, "also measure the isolated place/route kernels for -bench-out")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json artifacts (old new); exit non-zero on regression")
+	compareWarn := flag.Bool("compare-warn", false, "with -compare, report regressions but exit zero (informational CI step)")
 	threshold := flag.Float64("threshold", bench.DefaultThreshold, "relative slowdown treated as a regression by -compare")
 	flag.Parse()
 
 	if *compare {
-		if err := runCompare(flag.Args(), *threshold); err != nil {
+		if err := runCompare(flag.Args(), *threshold, *compareWarn); err != nil {
 			fatal(err)
 		}
 		return
@@ -196,8 +197,11 @@ func runBench(out, benchmarks string, full bool, iters int, seed int64, kernels 
 	return nil
 }
 
-// runCompare judges new against old and exits non-zero on regression.
-func runCompare(args []string, threshold float64) error {
+// runCompare judges new against old and exits non-zero on regression
+// unless warnOnly downgrades regressions to a printed warning —
+// CI compares freshly measured numbers on shared runners against the
+// committed workstation artifact, where absolute timings are advisory.
+func runCompare(args []string, threshold float64, warnOnly bool) error {
 	if len(args) != 2 {
 		return fmt.Errorf("-compare needs exactly two arguments: old.json new.json")
 	}
@@ -225,6 +229,11 @@ func runCompare(args []string, threshold float64) error {
 		fmt.Printf("? missing in new artifact: %s\n", m)
 	}
 	if regs := rep.Regressions(); len(regs) > 0 {
+		if warnOnly {
+			fmt.Printf("warning: %d metric(s) regressed by more than %.0f%% (informational, not failing)\n",
+				len(regs), rep.Threshold*100)
+			return nil
+		}
 		return fmt.Errorf("%d metric(s) regressed by more than %.0f%%", len(regs), rep.Threshold*100)
 	}
 	fmt.Printf("no regressions beyond %.0f%% across %d metric(s)\n", rep.Threshold*100, len(rep.Deltas))

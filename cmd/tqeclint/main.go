@@ -9,10 +9,12 @@
 //
 // Usage:
 //
-//	tqeclint [-json] [-list] [-C dir] [packages ...]
+//	tqeclint [-json] [-github] [-list] [-C dir] [packages ...]
 //
 // With no patterns it analyzes ./... . -json emits the findings as a JSON
-// array for tooling; -list prints the analyzer registry.
+// array for tooling; -github emits GitHub Actions workflow commands
+// (::error file=...,line=...,col=...::message) so findings surface as
+// inline annotations on pull requests; -list prints the analyzer registry.
 package main
 
 import (
@@ -21,16 +23,18 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	dir := flag.String("C", ".", "directory to resolve package patterns from")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tqeclint [-json] [-list] [-C dir] [packages ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tqeclint [-json] [-github] [-list] [-C dir] [packages ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,28 +54,53 @@ func main() {
 	}
 	findings := lint.RunAnalyzers(pkgs, lint.Analyzers())
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(findings); err != nil {
 			fmt.Fprintln(os.Stderr, "tqeclint:", err)
 			os.Exit(2)
 		}
-	} else {
-		cwd, err := os.Getwd()
-		if err != nil {
-			cwd = ""
+	case *github:
+		for _, f := range relFindings(findings) {
+			fmt.Println(githubAnnotation(f))
 		}
-		for _, f := range findings {
-			if cwd != "" {
-				if rel, err := filepath.Rel(cwd, f.File); err == nil {
-					f.File = rel
-				}
-			}
+	default:
+		for _, f := range relFindings(findings) {
 			fmt.Println(f)
 		}
 	}
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// relFindings rewrites absolute file paths relative to the working
+// directory, which for -github must be the repository root so annotations
+// attach to the right files in the diff view.
+func relFindings(findings []lint.Finding) []lint.Finding {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return findings
+	}
+	out := make([]lint.Finding, len(findings))
+	for i, f := range findings {
+		if rel, err := filepath.Rel(cwd, f.File); err == nil {
+			f.File = rel
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// githubAnnotation renders one finding as a GitHub Actions workflow
+// command. Message data must escape %, CR and LF; property values
+// additionally escape ':' and ','.
+func githubAnnotation(f lint.Finding) string {
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	prop := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=tqeclint %s::[%s] %s",
+		prop.Replace(f.File), f.Line, f.Col, prop.Replace(f.Analyzer),
+		esc.Replace(f.Analyzer), esc.Replace(f.Message))
 }

@@ -1,0 +1,208 @@
+// Package ccache is the compile service's content-addressed result cache:
+// an in-memory, byte-bounded LRU of immutable result payloads keyed by
+// canonical content addresses (tqec.CacheKey), with single-flight
+// deduplication so N concurrent requests for the same address cost exactly
+// one compilation. Compilation is deterministic for a fixed (circuit,
+// options) pair, which is what makes content addressing sound: a cached
+// payload is byte-identical to what a fresh compile would produce.
+package ccache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/faults"
+)
+
+// Outcome classifies how a Do call obtained its value.
+type Outcome int
+
+// Do outcomes.
+const (
+	// Miss means this call ran the compute function itself.
+	Miss Outcome = iota
+	// Hit means the value was already cached.
+	Hit
+	// Shared means another in-flight call computed the value and this
+	// call waited for it (single-flight deduplication).
+	Shared
+)
+
+// String returns the outcome's wire name (the X-Tqecd-Cache header value).
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Shared:
+		return "shared"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Stats is a point-in-time snapshot of the cache's counters, shaped for
+// the /v1/metrics endpoint.
+type Stats struct {
+	// Hits counts Do calls served from the cache.
+	Hits int64 `json:"hits"`
+	// Misses counts Do calls that ran their compute function.
+	Misses int64 `json:"misses"`
+	// Shared counts Do calls coalesced onto another call's compute.
+	Shared int64 `json:"shared"`
+	// Evictions counts entries dropped to stay within the byte budget.
+	Evictions int64 `json:"evictions"`
+	// Uncacheable counts computed values too large to cache at all.
+	Uncacheable int64 `json:"uncacheable"`
+	// Entries is the current number of cached values.
+	Entries int `json:"entries"`
+	// Bytes is the current payload byte total.
+	Bytes int64 `json:"bytes"`
+	// MaxBytes is the configured byte budget.
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+// entry is one cached payload; it lives in the LRU list.
+type entry struct {
+	key string
+	val []byte
+}
+
+// flight is one in-progress compute; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Cache is a content-addressed LRU with single-flight deduplication. The
+// zero value is not usable; call New. All methods are safe for concurrent
+// use. Cached payloads are shared by reference: callers must treat the
+// returned byte slices as immutable.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	lru      *list.List // front = most recently used; values are *entry
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses, shared, evictions, uncacheable int64
+}
+
+// New returns a cache bounded to maxBytes of payload (metadata overhead is
+// not counted). A non-positive budget disables caching entirely while
+// keeping single-flight deduplication.
+func New(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		lru:      list.New(),
+		entries:  map[string]*list.Element{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// Get returns the cached payload for key, if any, marking it recently
+// used. It does not count as a Do hit/miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Do returns the payload for key, computing it at most once across all
+// concurrent callers: a cached value is returned immediately (Hit); if
+// another call is already computing the value, this call waits for it
+// (Shared); otherwise this call runs compute (Miss) and publishes the
+// result. Errors are not cached — every waiter of a failed flight receives
+// the error, and the next Do retries. ctx bounds only the waiting of a
+// Shared call; a Miss runs compute to completion on the calling goroutine,
+// so callers bound the compute itself via the context they capture in it.
+func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, Hit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.shared++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, Shared, f.err
+		case <-ctx.Done():
+			return nil, Shared, faults.Canceled(ctx)
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.val, f.err = compute()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insertLocked(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, Miss, f.err
+}
+
+// insertLocked stores a payload and evicts from the LRU tail until the
+// byte budget holds. Payloads larger than the whole budget are not cached.
+// Callers hold c.mu.
+func (c *Cache) insertLocked(key string, val []byte) {
+	if int64(len(val)) > c.maxBytes {
+		c.uncacheable++
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		// A racing Get/Do cannot have inserted (we held the flight), but
+		// be defensive: replace rather than double-count.
+		c.bytes += int64(len(val)) - int64(len(el.Value.(*entry).val))
+		el.Value.(*entry).val = val
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&entry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.bytes > c.maxBytes {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*entry)
+		c.lru.Remove(tail)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.val))
+		c.evictions++
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Shared:      c.shared,
+		Evictions:   c.evictions,
+		Uncacheable: c.uncacheable,
+		Entries:     len(c.entries),
+		Bytes:       c.bytes,
+		MaxBytes:    c.maxBytes,
+	}
+}

@@ -1,0 +1,241 @@
+package ccache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func mustDo(t *testing.T, c *Cache, key string, compute func() ([]byte, error)) ([]byte, Outcome) {
+	t.Helper()
+	v, o, err := c.Do(context.Background(), key, compute)
+	if err != nil {
+		t.Fatalf("Do(%q): %v", key, err)
+	}
+	return v, o
+}
+
+func TestDoHitMiss(t *testing.T) {
+	c := New(1 << 20)
+	var calls int
+	compute := func() ([]byte, error) { calls++; return []byte("payload"), nil }
+
+	v, o := mustDo(t, c, "k", compute)
+	if string(v) != "payload" || o != Miss {
+		t.Fatalf("first Do = %q, %v; want payload, Miss", v, o)
+	}
+	v, o = mustDo(t, c, "k", compute)
+	if string(v) != "payload" || o != Hit {
+		t.Fatalf("second Do = %q, %v; want payload, Hit", v, o)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if got, ok := c.Get("k"); !ok || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Shared != 0 || s.Entries != 1 || s.Bytes != 7 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	c := New(1 << 20)
+	const waiters = 16
+	var computes atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+
+	outcomes := make([]Outcome, waiters)
+	vals := make([][]byte, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, o, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+				computes.Add(1)
+				once.Do(func() { close(started) })
+				<-release
+				return []byte("shared-payload"), nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			outcomes[i] = o
+			vals[i] = v
+		}()
+	}
+	<-started
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times for %d concurrent callers", n, waiters)
+	}
+	var miss, shrd, hit int
+	for i := range outcomes {
+		if string(vals[i]) != "shared-payload" {
+			t.Fatalf("waiter %d got %q", i, vals[i])
+		}
+		switch outcomes[i] {
+		case Miss:
+			miss++
+		case Shared:
+			shrd++
+		case Hit:
+			hit++
+		}
+	}
+	// Exactly one caller computes; the rest either coalesced onto the
+	// flight or arrived after publication and hit the cache.
+	if miss != 1 || shrd+hit != waiters-1 {
+		t.Fatalf("outcomes: %d miss, %d shared, %d hit", miss, shrd, hit)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || int(s.Shared+s.Hits) != waiters-1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("boom")
+	_, _, err := c.Do(context.Background(), "k", func() ([]byte, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed compute was cached")
+	}
+	v, o := mustDo(t, c, "k", func() ([]byte, error) { return []byte("ok"), nil })
+	if string(v) != "ok" || o != Miss {
+		t.Fatalf("retry after error = %q, %v", v, o)
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	c := New(10)
+	fill := func(key, val string) { mustDo(t, c, key, func() ([]byte, error) { return []byte(val), nil }) }
+	fill("a", "aaaa") // 4 bytes
+	fill("b", "bbbb") // 8 bytes
+	// Touch a so b is the LRU tail.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	fill("c", "cccc") // 12 bytes -> evict b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 2 || s.Bytes != 8 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestOversizePayloadUncacheable(t *testing.T) {
+	c := New(4)
+	v, o := mustDo(t, c, "big", func() ([]byte, error) { return []byte("too large"), nil })
+	if string(v) != "too large" || o != Miss {
+		t.Fatalf("Do = %q, %v", v, o)
+	}
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversize payload was cached")
+	}
+	if s := c.Stats(); s.Uncacheable != 1 || s.Entries != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestSharedWaitCancellation(t *testing.T) {
+	c := New(1 << 20)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("v"), nil
+		})
+		if err != nil {
+			t.Errorf("initiator: %v", err)
+		}
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, o, err := c.Do(ctx, "k", func() ([]byte, error) { return nil, errors.New("must not run") })
+	if o != Shared || !faults.IsCancellation(err) {
+		t.Fatalf("canceled waiter: outcome %v, err %v", o, err)
+	}
+	close(release)
+}
+
+// TestConcurrentMixedKeys hammers the cache with many goroutines over a
+// small key space (run under -race) and checks every caller observed the
+// key's canonical payload.
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(1 << 10)
+	const goroutines, rounds, keys = 8, 200, 5
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := fmt.Sprintf("key-%d", (g+i)%keys)
+				want := "payload-for-" + k
+				v, _, err := c.Do(context.Background(), k, func() ([]byte, error) {
+					return []byte(want), nil
+				})
+				if err != nil {
+					t.Errorf("Do(%s): %v", k, err)
+					return
+				}
+				if string(v) != want {
+					t.Errorf("Do(%s) = %q", k, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Stats()
+	if total := s.Hits + s.Misses + s.Shared; total != goroutines*rounds {
+		t.Fatalf("outcome counters sum to %d, want %d", total, goroutines*rounds)
+	}
+}
+
+func TestDisabledCacheStillDedupes(t *testing.T) {
+	c := New(0)
+	v, o := mustDo(t, c, "k", func() ([]byte, error) { return []byte("v"), nil })
+	if string(v) != "v" || o != Miss {
+		t.Fatalf("Do = %q, %v", v, o)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("zero-budget cache stored a value")
+	}
+	if _, o := mustDo(t, c, "k", func() ([]byte, error) { return []byte("v"), nil }); o != Miss {
+		t.Fatalf("second Do outcome = %v, want Miss (nothing cached)", o)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{Miss: "miss", Hit: "hit", Shared: "shared", Outcome(9): "Outcome(9)"} {
+		if got := o.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), got, want)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package icm
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// canonicalVersion tags the AppendCanonical encoding; bump it whenever the
+// layout changes so stale content addresses can never alias new ones.
+const canonicalVersion = 1
+
+// AppendCanonical appends a deterministic binary encoding of the circuit to
+// b and returns the extended slice. The encoding is injective over the
+// circuit's semantic content (name, lines, CNOTs, T groups, TSLs, logical
+// qubit count, Pauli count): two circuits encode identically iff they are
+// the same ICM circuit. It exists to content-address compilations (the
+// compile service's result cache keys include these bytes); it is not a
+// serialization format and has no decoder.
+func (c *Circuit) AppendCanonical(b []byte) []byte {
+	b = append(b, 'i', 'c', 'm', canonicalVersion)
+	b = appendString(b, c.Name)
+	b = appendInt(b, int64(c.NumLogical))
+	b = appendInt(b, int64(c.Paulis))
+
+	b = appendInt(b, int64(len(c.Lines)))
+	for _, l := range c.Lines {
+		b = appendInt(b, int64(l.ID))
+		b = appendInt(b, int64(l.Init))
+		b = appendInt(b, int64(l.Meas))
+		b = appendString(b, l.Label)
+		b = appendInt(b, int64(l.Qubit))
+	}
+
+	b = appendInt(b, int64(len(c.CNOTs)))
+	for _, g := range c.CNOTs {
+		b = appendInt(b, int64(g.ID))
+		b = appendInt(b, int64(g.Control))
+		b = appendInt(b, int64(g.Target))
+	}
+
+	b = appendInt(b, int64(len(c.TGroups)))
+	for _, g := range c.TGroups {
+		b = appendInt(b, int64(g.ID))
+		b = appendInt(b, int64(g.Qubit))
+		b = appendInt(b, int64(g.Seq))
+		b = appendInt(b, int64(g.ZMeasLine))
+		for _, l := range g.TeleportLines {
+			b = appendInt(b, int64(l))
+		}
+		b = appendInt(b, int64(len(g.CNOTs)))
+		for _, id := range g.CNOTs {
+			b = appendInt(b, int64(id))
+		}
+	}
+
+	// Map iteration order is random; emit TSL entries sorted by qubit.
+	qubits := make([]int, 0, len(c.TSL))
+	for q := range c.TSL {
+		qubits = append(qubits, q)
+	}
+	sort.Ints(qubits)
+	b = appendInt(b, int64(len(qubits)))
+	for _, q := range qubits {
+		b = appendInt(b, int64(q))
+		groups := c.TSL[q]
+		b = appendInt(b, int64(len(groups)))
+		for _, g := range groups {
+			b = appendInt(b, int64(g))
+		}
+	}
+	return b
+}
+
+// appendInt appends a little-endian int64.
+func appendInt(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+// appendString appends a length-prefixed string, keeping the encoding
+// self-delimiting (and therefore injective).
+func appendString(b []byte, s string) []byte {
+	b = appendInt(b, int64(len(s)))
+	return append(b, s...)
+}

@@ -1,0 +1,71 @@
+package icm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/qc"
+)
+
+func icmFor(t *testing.T, build func(c *qc.Circuit)) *Circuit {
+	t.Helper()
+	c := qc.New("m", 3)
+	build(c)
+	d, err := decompose.Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := FromDecomposed(d.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic
+}
+
+func TestAppendCanonicalDeterministic(t *testing.T) {
+	build := func(c *qc.Circuit) {
+		c.Append(qc.Toffoli(0, 1, 2), qc.CNOT(0, 1), qc.P(2))
+	}
+	a := icmFor(t, build).AppendCanonical(nil)
+	for i := 0; i < 16; i++ {
+		// Fresh conversion each round so TSL map iteration order gets a
+		// chance to differ.
+		b := icmFor(t, build).AppendCanonical(nil)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("round %d: canonical bytes differ", i)
+		}
+	}
+}
+
+func TestAppendCanonicalDistinguishes(t *testing.T) {
+	base := icmFor(t, func(c *qc.Circuit) { c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2)) })
+	variants := map[string]*Circuit{
+		"swapped gates": icmFor(t, func(c *qc.Circuit) { c.Append(qc.CNOT(1, 2), qc.CNOT(0, 1)) }),
+		"extra gate":    icmFor(t, func(c *qc.Circuit) { c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2), qc.P(0)) }),
+		"t gate":        icmFor(t, func(c *qc.Circuit) { c.Append(qc.CNOT(0, 1), qc.T(2)) }),
+	}
+	ref := base.AppendCanonical(nil)
+	for name, v := range variants {
+		if bytes.Equal(ref, v.AppendCanonical(nil)) {
+			t.Errorf("%s: canonical bytes collide with base circuit", name)
+		}
+	}
+	renamed := icmFor(t, func(c *qc.Circuit) { c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2)) })
+	renamed.Name = "other"
+	if bytes.Equal(ref, renamed.AppendCanonical(nil)) {
+		t.Error("renamed circuit: canonical bytes collide (name must be part of the address)")
+	}
+}
+
+func TestAppendCanonicalExtends(t *testing.T) {
+	ic := icmFor(t, func(c *qc.Circuit) { c.Append(qc.CNOT(0, 1)) })
+	prefix := []byte("prefix")
+	out := ic.AppendCanonical(append([]byte(nil), prefix...))
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("AppendCanonical did not preserve the prefix")
+	}
+	if !bytes.Equal(out[len(prefix):], ic.AppendCanonical(nil)) {
+		t.Fatal("AppendCanonical output depends on the destination slice")
+	}
+}

@@ -1,0 +1,165 @@
+// Live instruments: lock-free counters, gauges and latency histograms for
+// long-running processes (the tqecd daemon). Unlike Breakdown, which
+// accumulates one compilation's wall clock on a single goroutine, these
+// types are safe for concurrent use from any number of goroutines and are
+// read via consistent-enough snapshots that marshal to stable JSON.
+
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter safe for concurrent
+// use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative deltas are ignored so the
+// counter stays monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (queue depth, busy workers) safe for
+// concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of exponential latency buckets: bucket i counts
+// observations with d ≤ 1µs·2^i, spanning 1µs up to ~34s, plus one
+// overflow bucket for everything slower.
+const histBuckets = 25
+
+// histBase is the upper bound of the first bucket.
+const histBase = time.Microsecond
+
+// Histogram is a fixed-bucket exponential latency histogram safe for
+// concurrent use. Buckets double from 1µs; observations beyond the last
+// bound land in an overflow bucket. Sum, count, min and max are tracked
+// exactly.
+type Histogram struct {
+	buckets [histBuckets + 1]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds; math.MaxInt64 when empty
+	max     atomic.Int64 // nanoseconds
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one duration. Negative durations are clamped to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := int64(d)
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d ≤ 1µs·2^i, or the overflow index.
+func bucketIndex(d time.Duration) int {
+	bound := histBase
+	for i := 0; i < histBuckets; i++ {
+		if d <= bound {
+			return i
+		}
+		bound *= 2
+	}
+	return histBuckets
+}
+
+// HistogramBucket is one bucket of a histogram snapshot: Count observations
+// at most LeNS nanoseconds (LeNS < 0 marks the overflow bucket).
+type HistogramBucket struct {
+	// LeNS is the bucket's inclusive upper bound in nanoseconds, or -1
+	// for the overflow bucket.
+	LeNS int64 `json:"le_ns"`
+	// Count is the number of observations that fell in this bucket.
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, shaped for JSON
+// (the daemon's /v1/metrics endpoint). Empty buckets are elided so the
+// payload stays small.
+type HistogramSnapshot struct {
+	// Count is the total number of observations.
+	Count int64 `json:"count"`
+	// SumNS is the sum of all observed durations in nanoseconds.
+	SumNS int64 `json:"sum_ns"`
+	// MinNS and MaxNS bound the observed durations (0 when empty).
+	MinNS int64 `json:"min_ns"`
+	// MaxNS is the largest observed duration in nanoseconds.
+	MaxNS int64 `json:"max_ns"`
+	// Buckets lists the non-empty buckets in ascending bound order.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe calls
+// may straddle the copy; the snapshot is internally consistent enough for
+// monitoring (count equals the sum of bucket counts as of each bucket's
+// read).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumNS: h.sum.Load(),
+		MaxNS: h.max.Load(),
+	}
+	if min := h.min.Load(); min != math.MaxInt64 {
+		s.MinNS = min
+	}
+	bound := int64(histBase)
+	for i := 0; i <= histBuckets; i++ {
+		n := h.buckets[i].Load()
+		le := bound
+		if i == histBuckets {
+			le = -1
+		}
+		if n > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{LeNS: le, Count: n})
+		}
+		bound *= 2
+	}
+	return s
+}

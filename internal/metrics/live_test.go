@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				c.Add(2)
+				c.Add(-5) // ignored: counters are monotone
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), int64(goroutines*perG*3); got != want {
+		t.Fatalf("Counter.Value() = %d, want %d", got, want)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("Gauge.Value() = %d after balanced adds, want 0", got)
+	}
+	g.Set(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("Gauge.Value() = %d after Set(42)", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g*perG+i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if want := int64(goroutines * perG); s.Count != want {
+		t.Fatalf("Count = %d, want %d", s.Count, want)
+	}
+	var bucketSum int64
+	for _, b := range s.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", bucketSum, s.Count)
+	}
+	if s.MinNS != 0 {
+		t.Fatalf("MinNS = %d, want 0", s.MinNS)
+	}
+	if want := int64((goroutines*perG - 1)) * int64(time.Microsecond); s.MaxNS != want {
+		t.Fatalf("MaxNS = %d, want %d", s.MaxNS, want)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{time.Hour, histBuckets}, // overflow
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramSnapshotEmpty(t *testing.T) {
+	s := NewHistogram().Snapshot()
+	if s.Count != 0 || s.SumNS != 0 || s.MinNS != 0 || s.MaxNS != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+// TestHistogramSnapshotJSONGolden pins the JSON wire shape of a histogram
+// snapshot: /v1/metrics consumers depend on these exact field names.
+func TestHistogramSnapshotJSONGolden(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(500 * time.Nanosecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	b, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"count":3,"sum_ns":6500,"min_ns":500,"max_ns":3000,` +
+		`"buckets":[{"le_ns":1000,"count":1},{"le_ns":4000,"count":2}]}`
+	if string(b) != want {
+		t.Fatalf("snapshot JSON:\n got %s\nwant %s", b, want)
+	}
+}
+
+func TestHistogramNegativeClamp(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.SumNS != 0 || s.MinNS != 0 || s.MaxNS != 0 {
+		t.Fatalf("negative observation not clamped: %+v", s)
+	}
+}
+
+func TestHistogramMinSentinel(t *testing.T) {
+	h := NewHistogram()
+	if got := h.min.Load(); got != math.MaxInt64 {
+		t.Fatalf("empty histogram min sentinel = %d", got)
+	}
+}

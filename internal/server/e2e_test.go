@@ -1,0 +1,258 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/qc"
+	"repro/tqec"
+)
+
+// e2eVariant is one unique compile request in the end-to-end load mix.
+type e2eVariant struct {
+	src  string
+	name string
+	seed int64
+}
+
+// body renders the variant as a compile-request body.
+func (v e2eVariant) body(t *testing.T) []byte {
+	t.Helper()
+	return compileBody(t, v.src, v.name, CompileOptions{Seed: v.seed, Iterations: 2000})
+}
+
+// direct compiles the variant in-process and encodes it exactly as the
+// server does, for byte-identity checks.
+func (v e2eVariant) direct(t *testing.T) (key string, payload []byte) {
+	t.Helper()
+	c, err := qc.ParseReal(v.name, strings.NewReader(v.src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := requestOptions(CompileOptions{Seed: v.seed, Iterations: 2000})
+	res, err := tqec.CompileContext(context.Background(), c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err = tqec.CacheKey(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err = EncodeResult(key, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key, payload
+}
+
+// TestEndToEndLoad runs the full daemon wiring — a real http.Server on a
+// random port, the bounded worker pool, the content-addressed cache — under
+// the harness load generator: 32 concurrent synchronous requests over 4
+// unique circuits, then 16 asynchronous jobs over 2 more, then a graceful
+// drain. It asserts every response is structured, each unique content
+// address compiles exactly once, and served payloads are byte-identical to
+// direct tqec.CompileContext output.
+func TestEndToEndLoad(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 64
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// 4 unique circuits, each duplicated 8 times and interleaved so
+	// duplicates race each other through the single-flight path.
+	variants := []e2eVariant{
+		{realSrc, "fig4", 21},
+		{realSrc, "fig4", 22},
+		{realSrc2, "toffoli", 21},
+		{realSrc2, "toffoli", 22},
+	}
+	var bodies [][]byte
+	for rep := 0; rep < 8; rep++ {
+		for _, v := range variants {
+			bodies = append(bodies, v.body(t))
+		}
+	}
+	lctx, lcancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer lcancel()
+	results, err := harness.RunLoad(lctx, harness.LoadOptions{
+		BaseURL:     base,
+		Bodies:      bodies,
+		Concurrency: 16,
+	})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	direct := map[string][]byte{} // content address -> expected payload
+	for _, v := range variants {
+		key, payload := v.direct(t)
+		direct[key] = payload
+	}
+	outcomes := map[string]map[string]int{} // key -> cache outcome counts
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d: transport error %v", r.Index, r.Err)
+		}
+		if r.Status != 200 {
+			var er ErrorResponse
+			if jerr := json.Unmarshal(r.ErrorBody, &er); jerr != nil || er.Error.Message == "" {
+				t.Fatalf("request %d: status %d with unstructured body %s", r.Index, r.Status, r.ErrorBody)
+			}
+			t.Fatalf("request %d: unexpected failure %d: %s", r.Index, r.Status, r.ErrorBody)
+		}
+		want, ok := direct[r.Key]
+		if !ok {
+			t.Fatalf("request %d: unknown content address %q", r.Index, r.Key)
+		}
+		if !bytes.Equal(r.Body, want) {
+			t.Fatalf("request %d: served payload differs from direct compile", r.Index)
+		}
+		m := outcomes[r.Key]
+		if m == nil {
+			m = map[string]int{}
+			outcomes[r.Key] = m
+		}
+		m[r.Cache]++
+	}
+	if len(outcomes) != len(variants) {
+		t.Fatalf("saw %d unique keys, want %d", len(outcomes), len(variants))
+	}
+	for key, m := range outcomes {
+		if m["miss"] != 1 {
+			t.Errorf("key %s: %d misses, want exactly 1 (outcomes %v)", key, m["miss"], m)
+		}
+		if m["miss"]+m["hit"]+m["shared"] != 8 {
+			t.Errorf("key %s: outcomes %v do not cover all 8 duplicates", key, m)
+		}
+	}
+
+	// Async jobs over two fresh circuits, again with duplicates.
+	asyncVariants := []e2eVariant{
+		{realSrc, "fig4", 23},
+		{realSrc2, "toffoli", 23},
+	}
+	bodies = nil
+	for rep := 0; rep < 8; rep++ {
+		for _, v := range asyncVariants {
+			bodies = append(bodies, v.body(t))
+		}
+	}
+	results, err = harness.RunLoad(lctx, harness.LoadOptions{
+		BaseURL:     base,
+		Bodies:      bodies,
+		Concurrency: 16,
+		Async:       true,
+	})
+	if err != nil {
+		t.Fatalf("async load: %v", err)
+	}
+	for _, v := range asyncVariants {
+		key, payload := v.direct(t)
+		direct[key] = payload
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("async request %d: %v", r.Index, r.Err)
+		}
+		if r.Status != 202 && r.Status != 200 {
+			t.Fatalf("async request %d: submit status %d (%s)", r.Index, r.Status, r.ErrorBody)
+		}
+		if len(r.ErrorBody) > 0 {
+			t.Fatalf("async request %d: job failed: %s", r.Index, r.ErrorBody)
+		}
+		if !bytes.Equal(r.Body, direct[r.Key]) {
+			t.Fatalf("async request %d: payload differs from direct compile", r.Index)
+		}
+	}
+
+	// Exactly one underlying compile per unique content address, across
+	// both endpoints.
+	var snap MetricsSnapshot
+	st, payload, gerr := getBody(ctx, base+"/v1/metrics")
+	if gerr != nil || st != 200 {
+		t.Fatalf("metrics fetch: %d %v", st, gerr)
+	}
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		t.Fatal(err)
+	}
+	wantCompiles := int64(len(variants) + len(asyncVariants))
+	if snap.Server.Compiles != wantCompiles {
+		t.Fatalf("compiles = %d, want %d (one per unique key)", snap.Server.Compiles, wantCompiles)
+	}
+	if snap.Cache.Misses != wantCompiles {
+		t.Fatalf("cache misses = %d, want %d", snap.Cache.Misses, wantCompiles)
+	}
+
+	// Graceful shutdown: a queued job survives the drain, then the
+	// listener closes and new work is rejected.
+	w := post(s, "/v1/jobs", compileBody(t, realSrc, "fig4", CompileOptions{Seed: 24, Iterations: 2000}))
+	if w.Code != 202 {
+		t.Fatalf("pre-drain submit: %d", w.Code)
+	}
+	var v JobView
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Minute)
+	defer dcancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		t.Fatalf("http shutdown: %v", err)
+	}
+	<-serveDone
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	w = get(s, "/v1/jobs/"+v.ID)
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != JobDone {
+		t.Fatalf("queued job after drain: %+v", v)
+	}
+	if w := post(s, "/v1/jobs", compileBody(t, realSrc, "fig4", CompileOptions{Seed: 25})); w.Code != 503 {
+		t.Fatalf("post-drain submit: %d, want 503", w.Code)
+	}
+}
+
+// getBody fetches a URL over the network for the e2e test.
+func getBody(ctx context.Context, url string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return 0, nil, err
+	}
+	if resp.StatusCode == 0 {
+		return 0, nil, fmt.Errorf("no status for %s", url)
+	}
+	return resp.StatusCode, buf.Bytes(), nil
+}

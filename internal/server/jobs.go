@@ -1,0 +1,185 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/ccache"
+)
+
+// JobStatus is the lifecycle state of an asynchronous compile job.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	// JobQueued means the job sits in the FIFO queue.
+	JobQueued JobStatus = "queued"
+	// JobRunning means a worker is compiling (or waiting on another
+	// in-flight compilation of the same content address).
+	JobRunning JobStatus = "running"
+	// JobDone means the result payload is available.
+	JobDone JobStatus = "done"
+	// JobFailed means the compile failed; the structured error is
+	// available.
+	JobFailed JobStatus = "failed"
+)
+
+// JobView is the JSON body of GET /v1/jobs/{id}.
+type JobView struct {
+	// ID is the job's identifier.
+	ID string `json:"id"`
+	// Status is the current lifecycle state.
+	Status JobStatus `json:"status"`
+	// Key is the compilation's content address.
+	Key string `json:"key"`
+	// Cache reports how the result was obtained (hit/miss/shared), set
+	// once the job finishes successfully.
+	Cache string `json:"cache,omitempty"`
+	// Result is the compile payload when Status is done.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the structured failure when Status is failed.
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// job tracks one async compilation.
+type job struct {
+	mu      sync.Mutex
+	id      string
+	key     string
+	status  JobStatus
+	outcome ccache.Outcome
+	body    []byte
+	apiErr  *apiError
+}
+
+// view snapshots the job for serving.
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{ID: j.id, Status: j.status, Key: j.key}
+	switch j.status {
+	case JobDone:
+		v.Cache = j.outcome.String()
+		v.Result = json.RawMessage(j.body)
+	case JobFailed:
+		body := j.apiErr.Body
+		v.Error = &body
+	}
+	return v
+}
+
+// setRunning marks the job as picked up by a worker.
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.status = JobRunning
+	j.mu.Unlock()
+}
+
+// finish records the job's terminal state.
+func (j *job) finish(body []byte, outcome ccache.Outcome, aerr *apiError) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if aerr != nil {
+		j.status = JobFailed
+		j.apiErr = aerr
+		return
+	}
+	j.status = JobDone
+	j.outcome = outcome
+	j.body = body
+}
+
+// terminal reports whether the job has finished (done or failed).
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == JobDone || j.status == JobFailed
+}
+
+// jobRegistry issues job IDs and retains finished jobs up to a cap, evicting
+// the oldest finished jobs first so results stay pollable for a while
+// without unbounded memory growth. Unfinished jobs are never evicted (their
+// count is bounded by the queue depth plus the worker count).
+type jobRegistry struct {
+	mu     sync.Mutex
+	prefix string
+	seq    int64
+	max    int
+	jobs   map[string]*job
+	order  []string // insertion order, for eviction scans
+}
+
+// newJobRegistry seeds the process-unique ID prefix from crypto/rand.
+func newJobRegistry(maxJobs int) (*jobRegistry, error) {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return nil, fmt.Errorf("job id prefix: %w", err)
+	}
+	return &jobRegistry{
+		prefix: hex.EncodeToString(b[:]),
+		max:    maxJobs,
+		jobs:   map[string]*job{},
+	}, nil
+}
+
+// add registers a new queued job for the given content address.
+func (r *jobRegistry) add(key string) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	j := &job{id: fmt.Sprintf("%s-%d", r.prefix, r.seq), key: key, status: JobQueued}
+	r.jobs[j.id] = j
+	r.order = append(r.order, j.id)
+	if len(r.jobs) > r.max {
+		r.evictLocked()
+	}
+	return j
+}
+
+// evictLocked removes the oldest finished job, if any. Callers hold r.mu.
+func (r *jobRegistry) evictLocked() {
+	for i, id := range r.order {
+		j, ok := r.jobs[id]
+		if ok && !j.terminal() {
+			continue
+		}
+		if ok {
+			delete(r.jobs, id)
+		}
+		r.order = append(r.order[:i], r.order[i+1:]...)
+		return
+	}
+}
+
+// get looks a job up by ID.
+func (r *jobRegistry) get(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// counts tallies jobs by lifecycle state.
+func (r *jobRegistry) counts() (queued, running, done, failed int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, j := range r.jobs {
+		j.mu.Lock()
+		st := j.status
+		j.mu.Unlock()
+		switch st {
+		case JobQueued:
+			queued++
+		case JobRunning:
+			running++
+		case JobDone:
+			done++
+		case JobFailed:
+			failed++
+		}
+	}
+	return
+}

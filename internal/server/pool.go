@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+)
+
+// task is one queued unit of work: f runs on a worker goroutine under the
+// pool's lifetime context with the task's own deadline applied, and done
+// closes when val/err are final.
+type task struct {
+	timeout time.Duration
+	f       func(ctx context.Context) ([]byte, error)
+	queued  time.Time
+
+	val  []byte
+	err  error
+	done chan struct{}
+}
+
+// pool is a bounded FIFO job queue drained by a fixed set of worker
+// goroutines. Enqueueing never blocks: a full queue rejects immediately
+// (backpressure), and a draining pool rejects new work while workers finish
+// everything already queued.
+type pool struct {
+	queue chan *task
+	busy  metrics.Gauge
+	wait  *metrics.Histogram // queue-wait latency
+
+	mu      sync.Mutex
+	closed  bool
+	wg      sync.WaitGroup
+	workers int
+}
+
+// newPool sizes the queue; workers start on start.
+func newPool(workers, depth int) *pool {
+	return &pool{
+		queue:   make(chan *task, depth),
+		wait:    metrics.NewHistogram(),
+		workers: workers,
+	}
+}
+
+// start launches the worker goroutines. ctx is the pool's lifetime: it
+// parents every task context, so canceling it aborts in-flight compiles
+// (hard stop). Graceful shutdown goes through drain instead, which lets
+// workers finish the queue while ctx stays live.
+func (p *pool) start(ctx context.Context) {
+	for i := 0; i < p.workers; i++ {
+		p.wg.Add(1)
+		go p.worker(ctx)
+	}
+}
+
+// worker drains the queue until it is closed and empty (graceful drain) or
+// the lifetime context dies (hard stop, failing whatever is still queued so
+// no waiter hangs).
+func (p *pool) worker(ctx context.Context) {
+	defer p.wg.Done()
+	for {
+		select {
+		case t, ok := <-p.queue:
+			if !ok {
+				return
+			}
+			p.runTask(ctx, t)
+		case <-ctx.Done():
+			p.abort(ctx)
+			return
+		}
+	}
+}
+
+// runTask executes one task under its own deadline.
+func (p *pool) runTask(ctx context.Context, t *task) {
+	p.busy.Add(1)
+	defer p.busy.Add(-1)
+	p.wait.Observe(time.Since(t.queued))
+	tctx := ctx
+	cancel := context.CancelFunc(func() {})
+	if t.timeout > 0 {
+		tctx, cancel = context.WithTimeout(ctx, t.timeout)
+	}
+	t.val, t.err = t.f(tctx)
+	cancel()
+	close(t.done)
+}
+
+// abort handles a hard stop: close the queue so enqueues reject and
+// blocked workers exit, then fail every still-queued task so its waiters
+// unblock. Safe to call from multiple workers; channel receives partition
+// the stranded tasks among them.
+func (p *pool) abort(ctx context.Context) {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	for t := range p.queue {
+		t.err = faults.Canceled(ctx)
+		close(t.done)
+	}
+}
+
+// enqueue adds a task to the queue, failing fast with errOverloaded when
+// the queue is full and errDraining after drain began.
+func (p *pool) enqueue(t *task) error {
+	t.done = make(chan struct{})
+	t.queued = time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("%w: no new jobs accepted", errDraining)
+	}
+	select {
+	case p.queue <- t:
+		return nil
+	default:
+		return fmt.Errorf("%w: %d job(s) queued", errOverloaded, len(p.queue))
+	}
+}
+
+// run enqueues f and waits for its completion. The wait is unconditional:
+// a queued task always completes (its own deadline bounds the compile), so
+// run returns the worker's verdict even if the submitting client has gone
+// away — necessary for single-flight correctness, where other callers may
+// be waiting on this compute.
+func (p *pool) run(timeout time.Duration, f func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+	t := &task{timeout: timeout, f: f}
+	if err := p.enqueue(t); err != nil {
+		return nil, err
+	}
+	<-t.done
+	return t.val, t.err
+}
+
+// depth returns the current and maximum queue occupancy.
+func (p *pool) depth() (cur, capacity int) {
+	return len(p.queue), cap(p.queue)
+}
+
+// drain stops accepting work and waits until every queued task has run,
+// bounded by ctx. It is idempotent.
+func (p *pool) drain(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	finished := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain aborted with work pending: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,405 @@
+// Package server implements the tqecd compile service: an HTTP/JSON daemon
+// over tqec.CompileContext with a bounded FIFO job queue drained by a
+// worker pool, a content-addressed single-flight result cache, and live
+// metrics.
+//
+// Endpoints:
+//
+//	POST /v1/compile      synchronous compile; responds with the result
+//	                      payload and X-Tqecd-Cache{,-Key} headers
+//	POST /v1/jobs         asynchronous compile; responds 202 with a job ID
+//	GET  /v1/jobs/{id}    poll a job: queued/running/done/failed
+//	GET  /v1/metrics      counters, queue gauges, cache stats, latency
+//	                      histograms (JSON)
+//	GET  /healthz         liveness and drain state
+//
+// Compilation is deterministic for a fixed (circuit, options) pair, so
+// results are content-addressed by tqec.CacheKey: concurrent identical
+// requests coalesce onto one compile (single-flight) and repeats are served
+// from the in-memory LRU byte-for-byte identically. Failures surface as
+// structured JSON errors carrying the failed stage and the faults-taxonomy
+// sentinel; queue overload returns 429 with queue-depth headers; draining
+// returns 503 while queued work finishes.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ccache"
+	"repro/internal/metrics"
+	"repro/tqec"
+)
+
+// Config sizes the service. Zero values mean defaults.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the FIFO job queue (default 64).
+	QueueDepth int
+	// CacheBytes bounds the result cache payload bytes (default 64 MiB).
+	CacheBytes int64
+	// DefaultTimeout bounds each compile when the request does not set
+	// one (default 2m).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied timeouts (default 10m).
+	MaxTimeout time.Duration
+	// MaxJobs bounds the async job registry (default 1024).
+	MaxJobs int
+	// MaxBodyBytes bounds request bodies (default 4 MiB).
+	MaxBodyBytes int64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	return c
+}
+
+// Server is the compile service. Create with New, launch the workers with
+// Start, serve it as an http.Handler, and stop with Drain.
+type Server struct {
+	cfg      Config
+	pool     *pool
+	cache    *ccache.Cache
+	jobs     *jobRegistry
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	requests      metrics.Counter
+	compiles      metrics.Counter
+	errorsTotal   metrics.Counter
+	rejected      metrics.Counter
+	writeErrors   metrics.Counter
+	jobsSubmitted metrics.Counter
+	compileHist   *metrics.Histogram
+	stageHists    map[string]*metrics.Histogram
+}
+
+// New builds a server from the config.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	jobs, err := newJobRegistry(cfg.MaxJobs)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cfg:         cfg,
+		pool:        newPool(cfg.Workers, cfg.QueueDepth),
+		cache:       ccache.New(cfg.CacheBytes),
+		jobs:        jobs,
+		mux:         http.NewServeMux(),
+		compileHist: metrics.NewHistogram(),
+		stageHists: map[string]*metrics.Histogram{
+			metrics.StageBridging:  metrics.NewHistogram(),
+			metrics.StagePlacement: metrics.NewHistogram(),
+			metrics.StageRouting:   metrics.NewHistogram(),
+			metrics.StageOther:     metrics.NewHistogram(),
+		},
+	}
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Start launches the worker pool. ctx is the pool's lifetime: canceling it
+// aborts in-flight compiles (hard stop); prefer Drain for graceful
+// shutdown.
+func (s *Server) Start(ctx context.Context) {
+	s.pool.start(ctx)
+}
+
+// Drain stops accepting new jobs and waits, bounded by ctx, until every
+// queued job has run. In-flight synchronous requests complete because their
+// queued tasks run to completion; call the HTTP server's Shutdown first so
+// no new requests arrive.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.pool.drain(ctx)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// execute runs one compilation on a worker goroutine and encodes the
+// deterministic response payload. It is the only place compiles happen, so
+// the compile counter equals the number of cache misses.
+func (s *Server) execute(ctx context.Context, ct *compileTask) ([]byte, error) {
+	s.compiles.Inc()
+	start := time.Now()
+	res, err := tqec.CompileContext(ctx, ct.circuit, ct.opts)
+	s.compileHist.Observe(time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	for stage, hist := range s.stageHists {
+		hist.Observe(res.Breakdown.Get(stage))
+	}
+	return EncodeResult(ct.key, res)
+}
+
+// handleCompile serves POST /v1/compile: parse, content-address, coalesce
+// through the cache, queue on miss, respond with the payload.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	ct, aerr := parseCompileRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes),
+		s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	body, outcome, err := s.cache.Do(r.Context(), ct.key, func() ([]byte, error) {
+		return s.pool.run(ct.timeout, func(ctx context.Context) ([]byte, error) {
+			return s.execute(ctx, ct)
+		})
+	})
+	if err != nil {
+		s.writeError(w, compileError(err))
+		return
+	}
+	w.Header().Set("X-Tqecd-Cache", outcome.String())
+	w.Header().Set("X-Tqecd-Cache-Key", ct.key)
+	s.writeBody(w, http.StatusOK, body)
+}
+
+// handleJobSubmit serves POST /v1/jobs: register a job, enqueue its
+// compile, respond 202 with the job ID (200 immediately on a cache hit).
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	ct, aerr := parseCompileRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes),
+		s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	if body, ok := s.cache.Get(ct.key); ok {
+		s.jobsSubmitted.Inc()
+		j := s.jobs.add(ct.key)
+		j.finish(body, ccache.Hit, nil)
+		s.writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	j := s.jobs.add(ct.key)
+	t := &task{timeout: ct.timeout, f: func(ctx context.Context) ([]byte, error) {
+		j.setRunning()
+		body, outcome, err := s.cache.Do(ctx, ct.key, func() ([]byte, error) {
+			return s.execute(ctx, ct)
+		})
+		if err != nil {
+			s.errorsTotal.Inc()
+			j.finish(nil, outcome, compileError(err))
+			return nil, err
+		}
+		j.finish(body, outcome, nil)
+		return body, nil
+	}}
+	if err := s.pool.enqueue(t); err != nil {
+		ae := compileError(err)
+		j.finish(nil, ccache.Miss, ae)
+		s.writeError(w, ae)
+		return
+	}
+	s.jobsSubmitted.Inc()
+	s.writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// handleJobGet serves GET /v1/jobs/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, &apiError{Status: http.StatusNotFound,
+			Body: ErrorBody{Message: fmt.Sprintf("unknown job %q", r.PathValue("id"))}})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, j.view())
+}
+
+// ServerStats are the request-level counters of MetricsSnapshot.
+type ServerStats struct {
+	// Requests counts every handled API request.
+	Requests int64 `json:"requests"`
+	// Compiles counts pipeline executions (equals cache misses).
+	Compiles int64 `json:"compiles"`
+	// Errors counts requests answered with an error body.
+	Errors int64 `json:"errors"`
+	// Rejected counts 429 overload responses.
+	Rejected int64 `json:"rejected"`
+	// WriteErrors counts response writes that failed mid-flight.
+	WriteErrors int64 `json:"write_errors"`
+}
+
+// QueueStats are the worker-pool gauges of MetricsSnapshot.
+type QueueStats struct {
+	// Depth is the current queue occupancy.
+	Depth int `json:"depth"`
+	// Capacity is the queue bound.
+	Capacity int `json:"capacity"`
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// Busy is the number of workers executing right now.
+	Busy int64 `json:"busy"`
+}
+
+// JobsStats are the async-job counters of MetricsSnapshot.
+type JobsStats struct {
+	// Submitted counts accepted job submissions.
+	Submitted int64 `json:"submitted"`
+	// Queued is the number of registered jobs awaiting a worker.
+	Queued int `json:"queued"`
+	// Running is the number of jobs being compiled.
+	Running int `json:"running"`
+	// Done is the number of retained finished jobs.
+	Done int `json:"done"`
+	// Failed is the number of retained failed jobs.
+	Failed int `json:"failed"`
+}
+
+// MetricsSnapshot is the JSON body of GET /v1/metrics.
+type MetricsSnapshot struct {
+	// Server holds request-level counters.
+	Server ServerStats `json:"server"`
+	// Queue holds worker-pool gauges.
+	Queue QueueStats `json:"queue"`
+	// Jobs holds async-job counters.
+	Jobs JobsStats `json:"jobs"`
+	// Cache holds the result-cache counters.
+	Cache ccache.Stats `json:"cache"`
+	// LatencyNS holds latency histograms keyed by metric name:
+	// "queue_wait", "compile", and "stage:<pipeline stage>".
+	LatencyNS map[string]metrics.HistogramSnapshot `json:"latency_ns"`
+}
+
+// snapshot assembles the current metrics.
+func (s *Server) snapshot() MetricsSnapshot {
+	depth, capacity := s.pool.depth()
+	queued, running, done, failed := s.jobs.counts()
+	snap := MetricsSnapshot{
+		Server: ServerStats{
+			Requests:    s.requests.Value(),
+			Compiles:    s.compiles.Value(),
+			Errors:      s.errorsTotal.Value(),
+			Rejected:    s.rejected.Value(),
+			WriteErrors: s.writeErrors.Value(),
+		},
+		Queue: QueueStats{
+			Depth:    depth,
+			Capacity: capacity,
+			Workers:  s.cfg.Workers,
+			Busy:     s.pool.busy.Value(),
+		},
+		Jobs: JobsStats{
+			Submitted: s.jobsSubmitted.Value(),
+			Queued:    queued,
+			Running:   running,
+			Done:      done,
+			Failed:    failed,
+		},
+		Cache: s.cache.Stats(),
+		LatencyNS: map[string]metrics.HistogramSnapshot{
+			"queue_wait": s.pool.wait.Snapshot(),
+			"compile":    s.compileHist.Snapshot(),
+		},
+	}
+	for stage, hist := range s.stageHists {
+		snap.LatencyNS["stage:"+stage] = hist.Snapshot()
+	}
+	return snap
+}
+
+// handleMetrics serves GET /v1/metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+// HealthBody is the JSON body of GET /healthz.
+type HealthBody struct {
+	// Status is "ok" while serving and "draining" after Drain began.
+	Status string `json:"status"`
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// QueueDepth is the current queue occupancy.
+	QueueDepth int `json:"queue_depth"`
+	// QueueCapacity is the queue bound.
+	QueueCapacity int `json:"queue_capacity"`
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 once draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	depth, capacity := s.pool.depth()
+	h := HealthBody{Status: "ok", Workers: s.cfg.Workers, QueueDepth: depth, QueueCapacity: capacity}
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, h)
+}
+
+// writeError emits a structured error response, stamping 429s with the
+// queue-depth headers the issue of backpressure calls for.
+func (s *Server) writeError(w http.ResponseWriter, ae *apiError) {
+	s.errorsTotal.Inc()
+	if ae.Status == http.StatusTooManyRequests {
+		s.rejected.Inc()
+		depth, capacity := s.pool.depth()
+		w.Header().Set("X-Tqecd-Queue-Depth", strconv.Itoa(depth))
+		w.Header().Set("X-Tqecd-Queue-Capacity", strconv.Itoa(capacity))
+	}
+	s.writeJSON(w, ae.Status, ErrorResponse{Error: ae.Body})
+}
+
+// writeJSON marshals v and writes it with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Marshaling our own response types cannot fail; if it somehow
+		// does, serve a minimal 500 rather than a broken body.
+		http.Error(w, `{"error":{"message":"response encoding failed"}}`, http.StatusInternalServerError)
+		s.writeErrors.Inc()
+		return
+	}
+	s.writeBody(w, code, b)
+}
+
+// writeBody writes a pre-encoded JSON payload. A failed write (client gone
+// mid-response) is counted; there is no one left to report it to.
+func (s *Server) writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	if _, err := w.Write(body); err != nil {
+		s.writeErrors.Inc()
+	}
+}
