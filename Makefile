@@ -12,7 +12,7 @@ GO ?= go
 COVER_MIN ?= 77
 COVER_OUT ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/tqec_cover.out
 
-.PHONY: all build vet lint test race cover fuzz-seeds bench bench-json bench-smoke ci
+.PHONY: all build vet lint test race cover fuzz-seeds bench bench-json bench-smoke check ci
 
 all: build
 
@@ -69,4 +69,13 @@ bench-smoke:
 	$(GO) run ./cmd/tqecbench -bench-out $${TMPDIR:-/tmp}/BENCH_ci_smoke.json -bench-iters 1
 	$(GO) run ./cmd/tqecbench -compare $${TMPDIR:-/tmp}/BENCH_ci_smoke.json $${TMPDIR:-/tmp}/BENCH_ci_smoke.json
 
-ci: vet lint build race cover fuzz-seeds bench-smoke
+# Differential and invariant verification (cmd/tqecverify): re-derives the
+# pipeline's structural guarantees on the seed benchmarks plus randomized
+# circuits, and cross-checks the determinism contracts (multi-chain
+# placement, serial vs concurrent routing, cached vs fresh compile bytes,
+# bridged vs unbridged). `-bench all` sweeps every paper benchmark but
+# takes much longer; CI runs the seed set.
+check:
+	$(GO) run ./cmd/tqecverify -bench seed -random 2 -timeout 10m
+
+ci: vet lint build race cover fuzz-seeds check bench-smoke

@@ -271,16 +271,8 @@ func (r *Result) tryMerge(st *Structure, le int) bool {
 type bridgeGraph struct {
 	vertices map[int]bool
 	adj      map[int][]int
-	// chainAt maps (loop, pin) roles for validity checking: for each
-	// vertex pin, the chains of which it is an endpoint, per loop.
-	endpointOf map[int][]chainRef
 	// consecutive marks existing chain edges (unordered pin pairs).
 	consecutive map[[2]int]bool
-}
-
-type chainRef struct {
-	loop  int
-	chain *Chain
 }
 
 func pairKey(a, b int) [2]int {
@@ -296,7 +288,6 @@ func (r *Result) buildBridgeGraph(st *Structure, common []int) *bridgeGraph {
 	g := &bridgeGraph{
 		vertices:    map[int]bool{},
 		adj:         map[int][]int{},
-		endpointOf:  map[int][]chainRef{},
 		consecutive: map[[2]int]bool{},
 	}
 	// Vertex rule 1: pins of the representative segment of each common
@@ -344,14 +335,6 @@ func (r *Result) buildBridgeGraph(st *Structure, common []int) *bridgeGraph {
 
 	for _, lp := range st.Loops {
 		chains := r.Chains[lp]
-		// Record endpoints for validity checking.
-		for _, c := range chains {
-			for _, p := range []int{c.head(), c.tail()} {
-				if g.vertices[p] {
-					g.endpointOf[p] = append(g.endpointOf[p], chainRef{loop: lp, chain: c})
-				}
-			}
-		}
 		// Edge rule 2: consecutive pins within a chain, both vertices.
 		for _, c := range chains {
 			for i := 1; i < len(c.Pins); i++ {
@@ -413,7 +396,7 @@ func (r *Result) findCriticalPath(g *bridgeGraph, st *Structure, common []int) [
 				criticals = append(criticals, a, b)
 			}
 			if path := searchPath(g, criticals); path != nil {
-				if r.pathValid(st, path, g) {
+				if r.pathValid(st, path) {
 					return path
 				}
 			}
@@ -514,48 +497,30 @@ func searchPath(g *bridgeGraph, criticals []int) []int {
 }
 
 // pathValid checks that applying the path's new connections preserves the
-// reconstructability of every loop in b: joining chains must never close a
-// chain into a premature cycle.
-func (r *Result) pathValid(st *Structure, path []int, g *bridgeGraph) bool {
-	// Union-find over chains, per loop.
-	parent := map[*Chain]*Chain{}
-	var find func(c *Chain) *Chain
-	find = func(c *Chain) *Chain {
-		p, ok := parent[c]
-		if !ok || p == c {
-			parent[c] = c
-			return c
+// reconstructability of every loop in b. It simulates, on cloned chain
+// lists, exactly the joins applyMerge would perform — the same selection
+// rule, applied to the evolving (not the pre-path) chain state — and
+// rejects the path if any implied join would close a chain into a
+// premature cycle or revisit a pin. Validating against a snapshot of the
+// endpoints instead used to diverge from applyMerge whenever chains
+// shared endpoints or a path vertex was consumed by an earlier join.
+func (r *Result) pathValid(st *Structure, path []int) bool {
+	sim := map[int][]*Chain{}
+	for _, lp := range st.Loops {
+		cl := make([]*Chain, len(r.Chains[lp]))
+		for i, c := range r.Chains[lp] {
+			cl[i] = &Chain{Pins: append([]int(nil), c.Pins...)}
 		}
-		root := find(p)
-		parent[c] = root
-		return root
+		sim[lp] = cl
 	}
 	for i := 1; i < len(path); i++ {
 		u, v := path[i-1], path[i]
-		if g.consecutive[pairKey(u, v)] {
-			continue // existing connection
-		}
-		// New connection: for every loop having both u and v as chain
-		// endpoints, the chains must be distinct (and not yet joined).
-		byLoop := map[int][2]*Chain{}
-		for _, ref := range g.endpointOf[u] {
-			pair := byLoop[ref.loop]
-			pair[0] = ref.chain
-			byLoop[ref.loop] = pair
-		}
-		for _, ref := range g.endpointOf[v] {
-			pair := byLoop[ref.loop]
-			pair[1] = ref.chain
-			byLoop[ref.loop] = pair
-		}
-		for _, pair := range byLoop {
-			if pair[0] == nil || pair[1] == nil {
-				continue
+		for _, lp := range st.Loops {
+			chains, ok := joinChains(sim[lp], u, v)
+			if !ok {
+				return false
 			}
-			if find(pair[0]) == find(pair[1]) {
-				return false // would close a cycle prematurely
-			}
-			parent[find(pair[0])] = find(pair[1])
+			sim[lp] = chains
 		}
 	}
 	return true
@@ -623,28 +588,69 @@ func (r *Result) chainModule(c *Chain) int {
 }
 
 // joinChainsAt joins the two chains of loop lp ending at pins u and v, if
-// the connection is new for that loop.
+// the connection is new for that loop. Paths are pre-screened by
+// pathValid with the same joinChains routine, so an illegal join here
+// means the caller skipped validation; the loop's chains are then left
+// untouched rather than corrupted.
 func (r *Result) joinChainsAt(lp, u, v int) {
-	chains := r.Chains[lp]
-	var cu, cv *Chain
+	if chains, ok := joinChains(r.Chains[lp], u, v); ok {
+		r.Chains[lp] = chains
+	}
+}
+
+// joinChains applies one new connection (u, v) to a loop's chain list and
+// returns the updated list. The connection is a no-op (ok=true, list
+// unchanged) when it already exists inside a chain or when the loop does
+// not have both u and v as chain endpoints. Otherwise the first pair of
+// distinct chains ending at u and v whose concatenation stays a simple
+// open path is joined; if every candidate pair would close a cycle or
+// revisit a pin — e.g. two chains sharing both endpoints — the join is
+// illegal and ok=false, so callers can reject the bridge path instead of
+// producing an unreconstructable chain set.
+func joinChains(chains []*Chain, u, v int) ([]*Chain, bool) {
+	var us, vs []*Chain
 	for _, c := range chains {
 		// Existing connection inside one chain: nothing to do.
 		for i := 1; i < len(c.Pins); i++ {
 			if (c.Pins[i-1] == u && c.Pins[i] == v) || (c.Pins[i-1] == v && c.Pins[i] == u) {
-				return
+				return chains, true
 			}
 		}
 		if c.head() == u || c.tail() == u {
-			cu = c
+			us = append(us, c)
 		}
 		if c.head() == v || c.tail() == v {
-			cv = c
+			vs = append(vs, c)
 		}
 	}
-	if cu == nil || cv == nil || cu == cv {
-		return
+	if len(us) == 0 || len(vs) == 0 {
+		return chains, true // connection does not concern this loop
 	}
-	// Orient cu to end at u and cv to start at v, then concatenate.
+	for _, cu := range us {
+		for _, cv := range vs {
+			joined, ok := joinPair(cu, cv, u, v)
+			if !ok {
+				continue
+			}
+			kept := make([]*Chain, 0, len(chains)-1)
+			for _, c := range chains {
+				if c != cu && c != cv {
+					kept = append(kept, c)
+				}
+			}
+			return append(kept, joined), true
+		}
+	}
+	return chains, false // only cycle-closing or pin-repeating joins exist
+}
+
+// joinPair concatenates cu (oriented to end at u) with cv (oriented to
+// start at v). It refuses self-joins and any result that is not a simple
+// open path.
+func joinPair(cu, cv *Chain, u, v int) (*Chain, bool) {
+	if cu == cv {
+		return nil, false
+	}
 	a := append([]int(nil), cu.Pins...)
 	if a[len(a)-1] != u {
 		reverseInts(a)
@@ -653,14 +659,15 @@ func (r *Result) joinChainsAt(lp, u, v int) {
 	if b[0] != v {
 		reverseInts(b)
 	}
-	joined := &Chain{Pins: append(a, b...)}
-	var kept []*Chain
-	for _, c := range chains {
-		if c != cu && c != cv {
-			kept = append(kept, c)
+	pins := append(a, b...)
+	seen := make(map[int]bool, len(pins))
+	for _, p := range pins {
+		if seen[p] {
+			return nil, false
 		}
+		seen[p] = true
 	}
-	r.Chains[lp] = append(kept, joined)
+	return &Chain{Pins: pins}, true
 }
 
 func reverseInts(xs []int) {

@@ -1,0 +1,147 @@
+package bridge
+
+import (
+	"sort"
+	"testing"
+)
+
+// chainPins flattens a chain list for comparison, sorted to be order-free.
+func chainPins(chains []*Chain) [][]int {
+	out := make([][]int, 0, len(chains))
+	for _, c := range chains {
+		out = append(out, append([]int(nil), c.Pins...))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// assertSimpleChains fails if any chain repeats a pin (a closed or
+// self-intersecting chain cannot be decomposed back into its dual loop).
+func assertSimpleChains(t *testing.T, chains []*Chain) {
+	t.Helper()
+	for _, c := range chains {
+		seen := map[int]bool{}
+		for _, p := range c.Pins {
+			if seen[p] {
+				t.Fatalf("chain %v repeats pin %d", c.Pins, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestJoinChainsSharedEndpoints is the regression for the chain-join
+// endpoint edge case: when a loop's chains share endpoints (here pin 1 is
+// an endpoint of three chains, and two of them share both endpoints 1 and
+// 3), joining at (1, 3) has no legal realization — every candidate pair
+// either closes a cycle or revisits a pin. The pre-fix code picked the
+// last chains scanned and concatenated them blindly, producing the
+// malformed chain [5 1 3 4 1] with pin 1 twice; the join must instead be
+// refused and the chain list left intact.
+func TestJoinChainsSharedEndpoints(t *testing.T) {
+	r := &Result{Chains: [][]*Chain{{
+		{Pins: []int{1, 2, 3}},
+		{Pins: []int{3, 4, 1}},
+		{Pins: []int{5, 1}},
+	}}}
+	before := chainPins(r.Chains[0])
+
+	r.joinChainsAt(0, 1, 3)
+
+	assertSimpleChains(t, r.Chains[0])
+	after := chainPins(r.Chains[0])
+	if len(after) != len(before) {
+		t.Fatalf("illegal join altered the chain list: %v -> %v", before, after)
+	}
+	for i := range before {
+		for k := range before[i] {
+			if before[i][k] != after[i][k] {
+				t.Fatalf("illegal join altered the chain list: %v -> %v", before, after)
+			}
+		}
+	}
+
+	// And pathValid must reject a path implying that join, instead of
+	// letting applyMerge run into it.
+	st := &Structure{Loops: []int{0}}
+	if r.pathValid(st, []int{1, 3}) {
+		t.Fatal("pathValid accepted a path whose join is unrealizable")
+	}
+}
+
+// TestJoinChainsLegalCases pins the intended joinChains semantics: plain
+// joins concatenate with correct orientation, existing connections and
+// foreign pins are no-ops, and a single chain is never closed on itself.
+func TestJoinChainsLegalCases(t *testing.T) {
+	// Plain join: [1 2] + [3 4] at (2, 3) -> [1 2 3 4].
+	chains, ok := joinChains([]*Chain{{Pins: []int{1, 2}}, {Pins: []int{3, 4}}}, 2, 3)
+	if !ok || len(chains) != 1 {
+		t.Fatalf("join failed: ok=%v chains=%v", ok, chainPins(chains))
+	}
+	got := chains[0].Pins
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("joined chain = %v, want %v", got, want)
+		}
+	}
+
+	// Reversed orientation: [2 1] + [4 3] at (2, 3) joins the same way.
+	chains, ok = joinChains([]*Chain{{Pins: []int{2, 1}}, {Pins: []int{4, 3}}}, 2, 3)
+	if !ok || len(chains) != 1 {
+		t.Fatalf("reversed join failed: ok=%v chains=%v", ok, chainPins(chains))
+	}
+	assertSimpleChains(t, chains)
+
+	// Existing connection inside a chain: no-op, still ok.
+	orig := []*Chain{{Pins: []int{1, 2, 3}}}
+	chains, ok = joinChains(orig, 2, 3)
+	if !ok || len(chains) != 1 || len(chains[0].Pins) != 3 {
+		t.Fatalf("existing connection not a no-op: ok=%v chains=%v", ok, chainPins(chains))
+	}
+
+	// Connection not touching this loop's endpoints: no-op, still ok.
+	chains, ok = joinChains(orig, 7, 8)
+	if !ok || len(chains) != 1 {
+		t.Fatalf("foreign connection not a no-op: ok=%v", ok)
+	}
+
+	// Closing a single chain into a cycle is illegal.
+	if _, ok = joinChains([]*Chain{{Pins: []int{1, 2, 3}}}, 1, 3); ok {
+		t.Fatal("joinChains closed a chain into a cycle")
+	}
+}
+
+// TestJoinChainsPicksSimplePair verifies that when several chains end at
+// the connection pins, the join picks a pair whose concatenation stays a
+// simple path rather than the first (or last) chains scanned.
+func TestJoinChainsPicksSimplePair(t *testing.T) {
+	// Endpoint 1 is shared by [1 2 3] and [5 1]; endpoint 4 only by
+	// [4 6]. Joining (1, 4) must use [5 1] or [1 2 3] with [4 6] — any
+	// pair is fine as long as the result is simple and total pin count
+	// is conserved.
+	chains, ok := joinChains([]*Chain{
+		{Pins: []int{1, 2, 3}},
+		{Pins: []int{5, 1}},
+		{Pins: []int{4, 6}},
+	}, 1, 4)
+	if !ok {
+		t.Fatal("legal join refused")
+	}
+	assertSimpleChains(t, chains)
+	total := 0
+	for _, c := range chains {
+		total += len(c.Pins)
+	}
+	if total != 7 || len(chains) != 2 {
+		t.Fatalf("join lost or duplicated pins: %v", chainPins(chains))
+	}
+}

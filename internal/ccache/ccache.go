@@ -161,10 +161,16 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, erro
 }
 
 // insertLocked stores a payload and evicts from the LRU tail until the
-// byte budget holds. Payloads larger than the whole budget are not cached.
+// byte budget holds. Payloads larger than the whole budget are not cached:
+// they are counted uncacheable exactly once and never enter the LRU, so an
+// oversized single-flight result cannot wedge eviction. A payload exactly
+// at the budget is cacheable (it evicts everything else). With a
+// non-positive budget nothing is cached — without the explicit check, a
+// zero-byte payload would pass the size test and become a permanent entry
+// the byte-driven eviction loop can never remove.
 // Callers hold c.mu.
 func (c *Cache) insertLocked(key string, val []byte) {
-	if int64(len(val)) > c.maxBytes {
+	if c.maxBytes <= 0 || int64(len(val)) > c.maxBytes {
 		c.uncacheable++
 		return
 	}

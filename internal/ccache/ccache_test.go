@@ -158,6 +158,69 @@ func TestOversizePayloadUncacheable(t *testing.T) {
 	}
 }
 
+// TestBudgetBoundary pins cost accounting at the byte-budget edge: a
+// payload exactly at the budget is cacheable and charged exactly once
+// (evicting everything else), one byte over is uncacheable, and an
+// uncacheable result never occupies bytes that would wedge later
+// evictions.
+func TestBudgetBoundary(t *testing.T) {
+	c := New(8)
+	mustDo(t, c, "small", func() ([]byte, error) { return []byte("xx"), nil })
+	// Exactly at the budget: cached, evicts "small".
+	mustDo(t, c, "exact", func() ([]byte, error) { return []byte("12345678"), nil })
+	if _, ok := c.Get("exact"); !ok {
+		t.Fatal("payload exactly at the budget was not cached")
+	}
+	if _, ok := c.Get("small"); ok {
+		t.Fatal("small entry should have been evicted by the full-budget entry")
+	}
+	s := c.Stats()
+	if s.Bytes != 8 || s.Entries != 1 || s.Evictions != 1 || s.Uncacheable != 0 {
+		t.Fatalf("stats after exact-fit insert: %+v", s)
+	}
+
+	// One byte over: uncacheable, charged once, cache state untouched.
+	mustDo(t, c, "over", func() ([]byte, error) { return []byte("123456789"), nil })
+	s = c.Stats()
+	if s.Uncacheable != 1 || s.Bytes != 8 || s.Entries != 1 {
+		t.Fatalf("stats after oversize insert: %+v", s)
+	}
+	// The oversize result must not have wedged eviction: a new fitting
+	// entry still displaces the old one normally.
+	mustDo(t, c, "next", func() ([]byte, error) { return []byte("abcdefgh"), nil })
+	if _, ok := c.Get("next"); !ok {
+		t.Fatal("cache wedged: fitting entry not cached after oversize insert")
+	}
+	if s = c.Stats(); s.Entries != 1 || s.Bytes != 8 {
+		t.Fatalf("stats after recovery insert: %+v", s)
+	}
+}
+
+// TestZeroBudgetZeroBytePayload is the regression for the disabled-cache
+// wedge: with a non-positive budget, a zero-byte payload used to slip past
+// the oversize check into the LRU, where the byte-driven eviction loop
+// could never remove it — the entry count grew without bound and the
+// "disabled" cache started serving hits.
+func TestZeroBudgetZeroBytePayload(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("empty-%d", i)
+		for pass := 0; pass < 2; pass++ {
+			v, o := mustDo(t, c, key, func() ([]byte, error) { return []byte{}, nil })
+			if len(v) != 0 || o != Miss {
+				t.Fatalf("Do(%s) pass %d = %q, %v; want empty Miss", key, pass, v, o)
+			}
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("disabled cache retained entries: %+v", s)
+	}
+	if s.Hits != 0 || s.Misses != 6 || s.Uncacheable != 6 {
+		t.Fatalf("disabled cache served hits or miscounted: %+v", s)
+	}
+}
+
 func TestSharedWaitCancellation(t *testing.T) {
 	c := New(1 << 20)
 	release := make(chan struct{})

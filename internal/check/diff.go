@@ -1,0 +1,230 @@
+package check
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"repro/internal/ccache"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/tqec"
+)
+
+// DiffChains cross-checks the placement engine's determinism contract:
+// two runs with the same (seed, chains=K) configuration must be
+// bit-identical, and the single-chain configuration (specified to match
+// the sequential annealer exactly) must produce a structurally legal
+// placement of the same clustering.
+func DiffChains(ctx context.Context, res *tqec.Result, opts tqec.Options, chains int) error {
+	popts := opts.Place
+	popts.Chains = chains
+	popts.Restarts = 0
+	first, err := place.RunContext(ctx, res.Clustering, res.Bridging.Nets, popts)
+	if err != nil {
+		return fmt.Errorf("chains=%d run 1: %w", chains, err)
+	}
+	second, err := place.RunContext(ctx, res.Clustering, res.Bridging.Nets, popts)
+	if err != nil {
+		return fmt.Errorf("chains=%d run 2: %w", chains, err)
+	}
+	if err := samePlacement(first, second); err != nil {
+		return fmt.Errorf("chains=%d reruns diverge: %w", chains, err)
+	}
+	popts.Chains = 1
+	seq, err := place.RunContext(ctx, res.Clustering, res.Bridging.Nets, popts)
+	if err != nil {
+		return fmt.Errorf("chains=1: %w", err)
+	}
+	if err := seq.CheckNoOverlap(); err != nil {
+		return fmt.Errorf("chains=1: %w", err)
+	}
+	if err := seq.CheckTimeOrdering(); err != nil {
+		return fmt.Errorf("chains=1: %w", err)
+	}
+	return nil
+}
+
+// samePlacement compares two placements for bit-identical geometry.
+func samePlacement(a, b *place.Placement) error {
+	if a.Tiers != b.Tiers {
+		return fmt.Errorf("tiers %d vs %d", a.Tiers, b.Tiers)
+	}
+	if a.WireLength != b.WireLength {
+		return fmt.Errorf("wirelength %d vs %d", a.WireLength, b.WireLength)
+	}
+	if len(a.Pos) != len(b.Pos) {
+		return fmt.Errorf("%d vs %d supers", len(a.Pos), len(b.Pos))
+	}
+	for s := range a.Pos {
+		if a.Pos[s] != b.Pos[s] {
+			return fmt.Errorf("super %d at %v vs %v", s, a.Pos[s], b.Pos[s])
+		}
+		if a.TierOf[s] != b.TierOf[s] {
+			return fmt.Errorf("super %d on tier %d vs %d", s, a.TierOf[s], b.TierOf[s])
+		}
+	}
+	return nil
+}
+
+// DiffSerialRouting cross-checks the router's parallel first pass against
+// the serial pass: the concurrent implementation only co-schedules nets
+// with pairwise-disjoint search regions and commits in net order, so the
+// two modes must agree on every routed cell and every diagnostic counter.
+func DiffSerialRouting(ctx context.Context, res *tqec.Result, opts tqec.Options) error {
+	serialOpts := opts.Route
+	serialOpts.Serial = true
+	serial, err := route.RunContext(ctx, res.Placement, serialOpts)
+	if err != nil {
+		return fmt.Errorf("serial: %w", err)
+	}
+	parOpts := opts.Route
+	parOpts.Serial = false
+	par, err := route.RunContext(ctx, res.Placement, parOpts)
+	if err != nil {
+		return fmt.Errorf("parallel: %w", err)
+	}
+	if len(serial.Routes) != len(par.Routes) {
+		return fmt.Errorf("serial routed %d nets, parallel %d", len(serial.Routes), len(par.Routes))
+	}
+	for id, sp := range serial.Routes {
+		pp, ok := par.Routes[id]
+		if !ok {
+			return fmt.Errorf("net %d routed serially but not in parallel", id)
+		}
+		if len(sp) != len(pp) {
+			return fmt.Errorf("net %d path length %d serial vs %d parallel", id, len(sp), len(pp))
+		}
+		for i := range sp {
+			if sp[i] != pp[i] {
+				return fmt.Errorf("net %d cell %d: %v serial vs %v parallel", id, i, sp[i], pp[i])
+			}
+		}
+	}
+	if serial.Bounds != par.Bounds {
+		return fmt.Errorf("bounds %v serial vs %v parallel", serial.Bounds, par.Bounds)
+	}
+	if serial.FirstPassRouted != par.FirstPassRouted ||
+		serial.Iterations != par.Iterations ||
+		serial.RippedUp != par.RippedUp ||
+		len(serial.Failed) != len(par.Failed) ||
+		len(serial.FallbackNets) != len(par.FallbackNets) {
+		return fmt.Errorf("diagnostics diverge: serial firstPass=%d iters=%d ripped=%d failed=%d fallback=%d, parallel firstPass=%d iters=%d ripped=%d failed=%d fallback=%d",
+			serial.FirstPassRouted, serial.Iterations, serial.RippedUp, len(serial.Failed), len(serial.FallbackNets),
+			par.FirstPassRouted, par.Iterations, par.RippedUp, len(par.Failed), len(par.FallbackNets))
+	}
+	return nil
+}
+
+// diffCacheBudget bounds the scratch cache used by DiffCacheBytes; any
+// real compile payload fits comfortably.
+const diffCacheBudget = 1 << 24
+
+// DiffCacheBytes cross-checks the compile service's content-addressed
+// caching: a fresh compile routed through the cache must miss, the repeat
+// must hit, and both payloads must be byte-identical to encoding the
+// result under test directly — the property that makes serving cached
+// bytes indistinguishable from recompiling.
+func DiffCacheBytes(ctx context.Context, res *tqec.Result, opts tqec.Options) error {
+	key, err := tqec.CacheKey(res.Circuit, opts)
+	if err != nil {
+		return err
+	}
+	cache := ccache.New(diffCacheBudget)
+	compute := func() ([]byte, error) {
+		fresh, err := tqec.CompileContext(ctx, res.Circuit, opts)
+		if err != nil {
+			return nil, err
+		}
+		return server.EncodeResult(key, fresh)
+	}
+	first, outcome, err := cache.Do(ctx, key, compute)
+	if err != nil {
+		return fmt.Errorf("cached compile: %w", err)
+	}
+	if outcome != ccache.Miss {
+		return fmt.Errorf("first cache access was %v, want miss", outcome)
+	}
+	second, outcome, err := cache.Do(ctx, key, compute)
+	if err != nil {
+		return fmt.Errorf("cache replay: %w", err)
+	}
+	if outcome != ccache.Hit {
+		return fmt.Errorf("second cache access was %v, want hit", outcome)
+	}
+	if !bytes.Equal(first, second) {
+		return fmt.Errorf("cache replay returned different bytes (%d vs %d)", len(first), len(second))
+	}
+	direct, err := server.EncodeResult(key, res)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(direct, first) {
+		return fmt.Errorf("cached bytes differ from direct encoding (%d vs %d bytes)", len(first), len(direct))
+	}
+	return nil
+}
+
+// DiffBridging cross-checks a bridged compilation against the unbridged
+// ablation of the same circuit: the ablation must satisfy the same
+// structural invariants, share the ICM footprint and canonical volume
+// (bridging is purely geometric), and perform no merges. On circuits
+// whose decomposed form fits in maxSimQubits the decomposition both runs
+// share is additionally verified against the source circuit by
+// state-vector simulation; the returned flag reports whether that
+// simulation ran.
+func DiffBridging(ctx context.Context, res *tqec.Result, opts tqec.Options, maxSimQubits int) (bool, error) {
+	ablOpts := opts
+	ablOpts.Bridging = false
+	// Unbridged netlists keep every dual segment and net and need more
+	// routing resource (the paper's Table V explanation; same settings as
+	// the harness ablation runs).
+	ablOpts.Place.Margin = 2
+	ablOpts.Place.TierPitch = 4
+	abl, err := tqec.CompileContext(ctx, res.Circuit, ablOpts)
+	if err != nil {
+		return false, fmt.Errorf("unbridged compile: %w", err)
+	}
+	if err := BridgeReconstructable(abl); err != nil {
+		return false, fmt.Errorf("unbridged: %w", err)
+	}
+	if err := PlacementLegal(abl); err != nil {
+		return false, fmt.Errorf("unbridged: %w", err)
+	}
+	// The unbridged netlist may exhaust the router even with the extra
+	// margin — the very congestion Table V quantifies — so degradation is
+	// tolerated here; what did route must still be structurally sound.
+	if err := RoutingStructurallySound(abl); err != nil {
+		return false, fmt.Errorf("unbridged: %w", err)
+	}
+	if err := VolumeAccounting(abl); err != nil {
+		return false, fmt.Errorf("unbridged: %w", err)
+	}
+	if abl.Bridging.Merges != 0 || abl.Bridging.RemovedSegments != 0 {
+		return false, fmt.Errorf("unbridged run reports %d merges and %d removed segments",
+			abl.Bridging.Merges, abl.Bridging.RemovedSegments)
+	}
+	if abl.CanonicalVolume != res.CanonicalVolume {
+		return false, fmt.Errorf("canonical volume %d unbridged vs %d bridged", abl.CanonicalVolume, res.CanonicalVolume)
+	}
+	if a, b := abl.ICM.Stats(), res.ICM.Stats(); a != b {
+		return false, fmt.Errorf("ICM stats diverge: %+v unbridged vs %+v bridged", a, b)
+	}
+
+	if res.Decomposed == nil || maxSimQubits <= 0 || len(res.Decomposed.Qubits) > maxSimQubits {
+		return false, nil
+	}
+	nq := len(res.Decomposed.Qubits)
+	padded := res.Circuit.Clone()
+	padded.Qubits = append([]string(nil), res.Decomposed.Qubits...)
+	ok, err := sim.EquivalentOnCleanAncillas(nq, res.Circuit.NumQubits(), padded, res.Decomposed)
+	if err != nil {
+		return false, fmt.Errorf("simulate: %w", err)
+	}
+	if !ok {
+		return true, fmt.Errorf("decomposed circuit is not unitarily equivalent to %q", res.Circuit.Name)
+	}
+	return true, nil
+}

@@ -1,0 +1,81 @@
+package check
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/qc"
+	"repro/tqec"
+)
+
+// FuzzPipelineInvariants drives randomized reversible circuits through
+// the full compression flow and re-derives every structural invariant on
+// the result. Graceful routing degradation is legal pipeline behavior on
+// hostile inputs, so degraded results get the degradation-tolerant
+// structural pass instead of the strict one; everything else must hold
+// unconditionally.
+func FuzzPipelineInvariants(f *testing.F) {
+	f.Add(5, 3, 0, 3, int64(0x4610)) // the 4gt10-v1_81 gate mix
+	f.Add(5, 6, 5, 6, int64(0x4440)) // the 4gt4-v0_73 gate mix
+	f.Add(3, 1, 0, 0, int64(7))      // a lone Toffoli
+	f.Add(2, 0, 1, 1, int64(1))      // CNOT + NOT, no teleportation
+	f.Add(1, 0, 0, 1, int64(42))     // NOT-only circuit: nothing to place
+	f.Add(4, 2, 3, 2, int64(99))     // mixed small workload
+	f.Fuzz(func(t *testing.T, qubits, toffolis, cnots, nots int, seed int64) {
+		// Bound the workload: the fuzzer should explore structure, not
+		// compile the fuzz driver to death on huge gate counts.
+		spec := qc.BenchmarkSpec{
+			Name:     "fuzz",
+			Qubits:   1 + abs(qubits)%6,
+			Toffolis: abs(toffolis) % 6,
+			CNOTs:    abs(cnots) % 8,
+			NOTs:     abs(nots) % 8,
+			Seed:     seed,
+		}
+		if spec.Gates() == 0 {
+			spec.NOTs = 1
+		}
+		if spec.Toffolis == 0 && spec.CNOTs == 0 {
+			// NOT-only circuits produce no dual loops, hence nothing to
+			// place: a legitimate empty pipeline input, not a target.
+			t.Skip()
+		}
+		c, err := spec.Generate()
+		if err != nil {
+			t.Skip() // unrealizable gate mix (e.g. Toffoli on 2 qubits)
+		}
+		opts := tqec.FastOptions()
+		res, err := tqec.CompileContext(t.Context(), c, opts)
+		if err != nil {
+			// Cooperative cancellation (fuzzing deadline) is not a bug.
+			if errors.Is(err, faults.ErrCanceled) {
+				t.Skip()
+			}
+			t.Fatalf("compile: %v", err)
+		}
+		if err := BridgeReconstructable(res); err != nil {
+			t.Errorf("bridge-reconstructable: %v", err)
+		}
+		if err := PlacementLegal(res); err != nil {
+			t.Errorf("placement-legal: %v", err)
+		}
+		if res.Degraded || len(res.Routing.Failed) > 0 {
+			if err := RoutingStructurallySound(res); err != nil {
+				t.Errorf("routing-structure: %v", err)
+			}
+		} else if err := RoutingLegal(res); err != nil {
+			t.Errorf("routing-legal: %v", err)
+		}
+		if err := VolumeAccounting(res); err != nil {
+			t.Errorf("volume-accounting: %v", err)
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,395 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bridge"
+	"repro/internal/distill"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/route"
+	"repro/tqec"
+)
+
+// BridgeReconstructable verifies that the bridging result decomposes back
+// into the original dual loops (the soundness condition of Algorithm 1):
+// every chain is a simple pin sequence, chains of one loop are pairwise
+// pin-disjoint, every live segment owned by a loop appears as an adjacent
+// pin pair in exactly one of its chains, every removed segment is covered
+// by a live representative segment of the loop's bridge structure whose
+// pin pair the loop's chains traverse, structures partition the loops,
+// and the generated nets close each loop's chains into a ring.
+func BridgeReconstructable(res *tqec.Result) error {
+	br := res.Bridging
+	nl := br.NL
+	if nl == nil {
+		return fmt.Errorf("bridging result has no netlist")
+	}
+	if len(br.Chains) != len(nl.Loops) {
+		return fmt.Errorf("chain sets: %d, loops: %d", len(br.Chains), len(nl.Loops))
+	}
+
+	structOf, err := structurePartition(br)
+	if err != nil {
+		return err
+	}
+
+	removed := 0
+	for lp := range nl.Loops {
+		adj, err := loopAdjacency(br, lp)
+		if err != nil {
+			return err
+		}
+		for k, segID := range nl.Loops[lp].Segments {
+			if segID < 0 || segID >= len(nl.Segments) {
+				return fmt.Errorf("loop %d: segment id %d out of range", lp, segID)
+			}
+			seg := nl.Segments[segID]
+			pair := pairOf(seg.Pins[0], seg.Pins[1])
+			if !seg.Removed {
+				if adj[pair] != 1 {
+					return fmt.Errorf("loop %d: live segment %d pin pair %v adjacent in %d chain position(s), want 1",
+						lp, segID, pair, adj[pair])
+				}
+				continue
+			}
+			removed++
+			// A removed segment must be replaced by the structure's live
+			// representative segment at the same module, and the loop's
+			// chains must traverse that representative's pin pair.
+			sid, ok := structOf[lp]
+			if !ok {
+				return fmt.Errorf("loop %d: segment %d removed but the loop is in no bridge structure", lp, segID)
+			}
+			m := nl.Loops[lp].Modules[k]
+			repID, ok := br.Structures[sid].RepSeg[m]
+			if !ok {
+				return fmt.Errorf("loop %d: removed segment %d at module %d has no representative in structure %d",
+					lp, segID, m, sid)
+			}
+			rep := nl.Segments[repID]
+			if rep.Removed {
+				return fmt.Errorf("loop %d: representative segment %d at module %d is itself removed", lp, repID, m)
+			}
+			if adj[pairOf(rep.Pins[0], rep.Pins[1])] == 0 {
+				return fmt.Errorf("loop %d: chains do not traverse representative segment %d of removed segment %d",
+					lp, repID, segID)
+			}
+		}
+	}
+	if removed != br.RemovedSegments {
+		return fmt.Errorf("removed-segment counter %d, but %d segments are flagged removed", br.RemovedSegments, removed)
+	}
+	return checkNets(br)
+}
+
+// structurePartition validates the bridge structures and returns the
+// loop → structure index map. With bridging enabled every loop sits in
+// exactly one structure; a disabled (ablation) run has no structures.
+func structurePartition(br *bridge.Result) (map[int]int, error) {
+	nl := br.NL
+	structOf := map[int]int{}
+	merges := 0
+	for i, st := range br.Structures {
+		if len(st.Loops) == 0 {
+			return nil, fmt.Errorf("structure %d is empty", i)
+		}
+		merges += len(st.Loops) - 1
+		for _, lp := range st.Loops {
+			if lp < 0 || lp >= len(nl.Loops) {
+				return nil, fmt.Errorf("structure %d: loop %d out of range", i, lp)
+			}
+			if prev, dup := structOf[lp]; dup {
+				return nil, fmt.Errorf("loop %d in structures %d and %d", lp, prev, i)
+			}
+			structOf[lp] = i
+		}
+	}
+	if len(br.Structures) > 0 {
+		if len(structOf) != len(nl.Loops) {
+			return nil, fmt.Errorf("structures cover %d of %d loops", len(structOf), len(nl.Loops))
+		}
+		if merges != br.Merges {
+			return nil, fmt.Errorf("merge counter %d, but structures absorbed %d loops", br.Merges, merges)
+		}
+	}
+	return structOf, nil
+}
+
+// loopAdjacency validates one loop's chains (non-empty, simple, pairwise
+// pin-disjoint) and returns how often each unordered pin pair appears
+// adjacently across them.
+func loopAdjacency(br *bridge.Result, lp int) (map[[2]int]int, error) {
+	adj := map[[2]int]int{}
+	seen := map[int]bool{}
+	for ci, c := range br.Chains[lp] {
+		if len(c.Pins) == 0 {
+			return nil, fmt.Errorf("loop %d: chain %d is empty", lp, ci)
+		}
+		for i, p := range c.Pins {
+			if p < 0 || p >= len(br.NL.Pins) {
+				return nil, fmt.Errorf("loop %d: chain %d pin %d out of range", lp, ci, p)
+			}
+			if seen[p] {
+				return nil, fmt.Errorf("loop %d: pin %d appears twice across its chains", lp, p)
+			}
+			seen[p] = true
+			if i > 0 {
+				adj[pairOf(c.Pins[i-1], p)]++
+			}
+		}
+	}
+	return adj, nil
+}
+
+// checkNets validates the generated dual-defect nets: pin sanity, endpoint
+// membership, and per-loop ring closure (consecutive chains in ring order
+// either share the junction pin or are connected by a net — nets shared
+// with another loop included).
+func checkNets(br *bridge.Result) error {
+	nl := br.NL
+	netPairs := map[[2]int]bool{}
+	for _, n := range br.Nets {
+		if n.PinA == n.PinB {
+			return fmt.Errorf("net %d connects pin %d to itself", n.ID, n.PinA)
+		}
+		for _, p := range []int{n.PinA, n.PinB} {
+			if p < 0 || p >= len(nl.Pins) {
+				return fmt.Errorf("net %d: pin %d out of range", n.ID, p)
+			}
+		}
+		if n.Loop < 0 || n.Loop >= len(nl.Loops) {
+			return fmt.Errorf("net %d: loop %d out of range", n.ID, n.Loop)
+		}
+		ends := map[int]bool{}
+		for _, c := range br.Chains[n.Loop] {
+			ends[c.Pins[0]] = true
+			ends[c.Pins[len(c.Pins)-1]] = true
+		}
+		if !ends[n.PinA] || !ends[n.PinB] {
+			return fmt.Errorf("net %d: pins %d/%d are not chain endpoints of loop %d", n.ID, n.PinA, n.PinB, n.Loop)
+		}
+		netPairs[pairOf(n.PinA, n.PinB)] = true
+	}
+	for lp := range nl.Loops {
+		for _, gap := range ringGaps(br, lp) {
+			if !netPairs[gap] {
+				return fmt.Errorf("loop %d: ring gap %v closed by no net", lp, gap)
+			}
+		}
+	}
+	return nil
+}
+
+// ringGaps returns the unordered endpoint pairs a loop's ring closure
+// requires a net for, mirroring the chain ordering of net generation:
+// chains sorted by the ring position of their first own-module pin,
+// connected tail to head cyclically, junctions sharing a pin excluded.
+func ringGaps(br *bridge.Result, lp int) [][2]int {
+	nl := br.NL
+	chains := append([]*bridge.Chain(nil), br.Chains[lp]...)
+	if len(chains) == 0 {
+		return nil
+	}
+	modulePos := map[int]int{}
+	for k, m := range nl.Loops[lp].Modules {
+		modulePos[m] = k
+	}
+	ringIndex := func(c *bridge.Chain) int {
+		best := 1 << 30
+		for _, p := range c.Pins {
+			m := nl.Segments[nl.Pins[p].Segment].Module
+			if pos, ok := modulePos[m]; ok && pos < best {
+				best = pos
+			}
+		}
+		if best == 1<<30 {
+			return 0
+		}
+		return best
+	}
+	sort.SliceStable(chains, func(i, j int) bool { return ringIndex(chains[i]) < ringIndex(chains[j]) })
+	var gaps [][2]int
+	for i := range chains {
+		a := chains[i].Pins[len(chains[i].Pins)-1]
+		b := chains[(i+1)%len(chains)].Pins[0]
+		if len(chains) == 1 {
+			a, b = chains[0].Pins[len(chains[0].Pins)-1], chains[0].Pins[0]
+		}
+		if a != b {
+			gaps = append(gaps, pairOf(a, b))
+		}
+	}
+	return gaps
+}
+
+// pairOf returns the unordered pin pair key.
+func pairOf(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// PlacementLegal verifies the placement invariants: overlap freedom,
+// time ordering, tier discipline (tier indices in range, one base plane
+// per tier, planes ordered by tier index), and that every net pin
+// resolves to an absolute cell.
+func PlacementLegal(res *tqec.Result) error {
+	p := res.Placement
+	if err := p.CheckNoOverlap(); err != nil {
+		return err
+	}
+	if err := p.CheckTimeOrdering(); err != nil {
+		return err
+	}
+	if len(p.TierOf) != len(p.Clust.Supers) {
+		return fmt.Errorf("tier assignments: %d, supers: %d", len(p.TierOf), len(p.Clust.Supers))
+	}
+	tierZ := map[int]int{}
+	for s, t := range p.TierOf {
+		if t < 0 || t >= p.Tiers {
+			return fmt.Errorf("super %d on tier %d, want [0,%d)", s, t, p.Tiers)
+		}
+		z := p.Pos[s].Z
+		if z < 1 {
+			return fmt.Errorf("super %d base z=%d below the routing floor", s, z)
+		}
+		if prev, ok := tierZ[t]; ok && prev != z {
+			return fmt.Errorf("tier %d has two base planes z=%d and z=%d", t, prev, z)
+		}
+		tierZ[t] = z
+	}
+	tiers := make([]int, 0, len(tierZ))
+	for t := range tierZ {
+		tiers = append(tiers, t)
+	}
+	sort.Ints(tiers)
+	for i := 1; i < len(tiers); i++ {
+		if tierZ[tiers[i-1]] >= tierZ[tiers[i]] {
+			return fmt.Errorf("tier %d base z=%d not below tier %d base z=%d",
+				tiers[i-1], tierZ[tiers[i-1]], tiers[i], tierZ[tiers[i]])
+		}
+	}
+	for _, n := range res.Bridging.Nets {
+		for _, pin := range []int{n.PinA, n.PinB} {
+			if _, err := p.PinPos(pin); err != nil {
+				return fmt.Errorf("net %d pin %d: %w", n.ID, pin, err)
+			}
+		}
+	}
+	return nil
+}
+
+// RoutingLegal re-walks the routing result: structural legality against
+// the placement's static obstacles and the friend-net anchoring rules
+// (route.Verify), net completeness (every generated net is either routed
+// or diagnosed as failed, and nothing else is), and containment of every
+// routed cell in the reported bounds.
+func RoutingLegal(res *tqec.Result) error {
+	if err := route.Verify(res.Placement, res.Routing); err != nil {
+		return err
+	}
+	return routingConsistent(res)
+}
+
+// RoutingStructurallySound is RoutingLegal minus the strictness
+// conditions: unrouted and fallback-routed nets are accepted, but
+// whatever was routed must still be collision-free, anchored, complete
+// and inside the reported bounds. It verifies results whose graceful
+// degradation is expected (the unbridged ablation, hostile fuzz inputs).
+func RoutingStructurallySound(res *tqec.Result) error {
+	if err := route.VerifyStructure(res.Placement, res.Routing); err != nil {
+		return err
+	}
+	return routingConsistent(res)
+}
+
+// routingConsistent checks net completeness (every generated net is
+// either routed or diagnosed as failed, and nothing else is) and that
+// every routed cell sits inside the reported bounds.
+func routingConsistent(res *tqec.Result) error {
+	r := res.Routing
+	known := map[int]bool{}
+	for _, n := range res.Bridging.Nets {
+		known[n.ID] = true
+		_, routed := r.Routes[n.ID]
+		failed := false
+		for _, id := range r.Failed {
+			if id == n.ID {
+				failed = true
+			}
+		}
+		if routed == failed {
+			return fmt.Errorf("net %d: routed=%v failed=%v, want exactly one", n.ID, routed, failed)
+		}
+	}
+	for id := range r.Routes {
+		if !known[id] {
+			return fmt.Errorf("routed net %d is not a generated net", id)
+		}
+	}
+	for id, path := range r.Routes {
+		for _, c := range path {
+			if !r.Bounds.Contains(c) {
+				return fmt.Errorf("net %d cell %v outside reported bounds %v", id, c, r.Bounds)
+			}
+		}
+	}
+	return nil
+}
+
+// VolumeAccounting re-derives the reported compression metrics from the
+// geometry: the routing bounds must be exactly the union of placed bodies,
+// distillation boxes, routed cells and pin cells; the dimensions, final
+// volume, canonical volume and box volume must match independent
+// recomputation; and the compression ratio must follow from them.
+func VolumeAccounting(res *tqec.Result) error {
+	var want geom.Box
+	want = want.Union(res.Placement.Bounds())
+	ids := make([]int, 0, len(res.Routing.Routes))
+	for id := range res.Routing.Routes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		want = want.Union(res.Routing.Routes[id].Bounds())
+	}
+	pins := make([]int, 0, len(res.Routing.PinCells))
+	for pin := range res.Routing.PinCells {
+		pins = append(pins, pin)
+	}
+	sort.Ints(pins)
+	for _, pin := range pins {
+		want = want.UnionPoint(res.Routing.PinCells[pin])
+	}
+	if res.Routing.Bounds != want {
+		return fmt.Errorf("routing bounds %v, geometry spans %v", res.Routing.Bounds, want)
+	}
+
+	b := res.Routing.Bounds
+	dims := metrics.Dims{W: b.Dy(), H: b.Dz(), D: b.Dx()}
+	if res.Dims != dims {
+		return fmt.Errorf("dims %+v, bounds imply %+v", res.Dims, dims)
+	}
+	if res.Volume != dims.Volume() {
+		return fmt.Errorf("volume %d, dims imply %d", res.Volume, dims.Volume())
+	}
+	if res.Canonical != nil && res.CanonicalVolume != res.Canonical.Volume() {
+		return fmt.Errorf("canonical volume %d, description has %d", res.CanonicalVolume, res.Canonical.Volume())
+	}
+	if res.ICM != nil {
+		stats := res.ICM.Stats()
+		if want := distill.BoxVolume(stats.NumY, stats.NumA); res.BoxVolume != want {
+			return fmt.Errorf("box volume %d, ICM stats imply %d", res.BoxVolume, want)
+		}
+	}
+	if res.Volume > 0 {
+		want := float64(res.CanonicalVolume+res.BoxVolume) / float64(res.Volume)
+		if got := res.CompressionRatio(); got != want {
+			return fmt.Errorf("compression ratio %g, metrics imply %g", got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package check
+
+import (
+	"context"
+
+	"repro/internal/qc"
+)
+
+// defaultShrinkProbes bounds predicate evaluations when the caller does
+// not: each probe typically costs a full compile.
+const defaultShrinkProbes = 64
+
+// Shrink reduces a failing circuit toward a minimal one that still fails,
+// for bug reports: it greedily deletes gate chunks (halving the chunk
+// size down to single gates, the ddmin schedule) and then drops qubits no
+// remaining gate touches. The failing predicate must return true for the
+// input circuit's failure mode; maxProbes bounds how many candidate
+// circuits are tried (values below 1 use a default budget). The input
+// circuit is never mutated; the returned circuit always fails the
+// predicate (in the worst case it is the input itself).
+func Shrink(ctx context.Context, c *qc.Circuit, maxProbes int, failing func(context.Context, *qc.Circuit) bool) *qc.Circuit {
+	if maxProbes < 1 {
+		maxProbes = defaultShrinkProbes
+	}
+	best := c.Clone()
+	probes := 0
+	probe := func(cand *qc.Circuit) bool {
+		if probes >= maxProbes || ctx.Err() != nil {
+			return false
+		}
+		probes++
+		return failing(ctx, cand)
+	}
+
+	for chunk := (len(best.Gates) + 1) / 2; chunk >= 1; chunk /= 2 {
+		// Keep at least one gate: an empty circuit is no reproduction.
+		for start := 0; start+chunk <= len(best.Gates) && len(best.Gates)-chunk >= 1; {
+			cand := best.Clone()
+			cand.Gates = append(append([]qc.Gate(nil), best.Gates[:start]...), best.Gates[start+chunk:]...)
+			if probe(cand) {
+				best = cand // deletion kept the failure; retry same offset
+			} else {
+				start += chunk
+			}
+		}
+	}
+	if cand := dropIdleQubits(best); len(cand.Qubits) < len(best.Qubits) && probe(cand) {
+		best = cand
+	}
+	return best
+}
+
+// dropIdleQubits returns a copy of the circuit with qubits no gate
+// touches removed and all gate operands renumbered accordingly.
+func dropIdleQubits(c *qc.Circuit) *qc.Circuit {
+	used := make([]bool, len(c.Qubits))
+	for _, g := range c.Gates {
+		for _, q := range g.Qubits() {
+			if q >= 0 && q < len(used) {
+				used[q] = true
+			}
+		}
+	}
+	remap := make([]int, len(c.Qubits))
+	out := c.Clone()
+	out.Qubits = nil
+	for q, name := range c.Qubits {
+		remap[q] = len(out.Qubits)
+		if used[q] {
+			out.Qubits = append(out.Qubits, name)
+		}
+	}
+	for gi := range out.Gates {
+		g := &out.Gates[gi]
+		g.Controls = append([]int(nil), g.Controls...)
+		g.Targets = append([]int(nil), g.Targets...)
+		for i, q := range g.Controls {
+			g.Controls[i] = remap[q]
+		}
+		for i, q := range g.Targets {
+			g.Targets[i] = remap[q]
+		}
+	}
+	return out
+}

@@ -35,7 +35,7 @@ type Result struct {
 
 // Decompose lowers c to the TQEC gate set. The input circuit is not
 // modified. The output contains only GateCNOT, GateP, GatePdag, GateV,
-// GateVdag, GateT, GateTdag and GateNOT gates.
+// GateVdag, GateT, GateTdag and frame-tracked GateNOT/GateZ markers.
 func Decompose(c *qc.Circuit) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("decompose: input invalid: %w", err)
@@ -77,9 +77,11 @@ func (d *decomposer) emit(gates ...qc.Gate) {
 func (d *decomposer) lower(g qc.Gate) error {
 	switch g.Kind {
 	case qc.GateNOT, qc.GateZ:
-		// Pauli gates are tracked in the Pauli frame; keep NOT as a
-		// marker (zero ICM cost), fold Z the same way.
-		d.emit(qc.NOT(g.Targets[0]))
+		// Pauli gates are tracked in the Pauli frame: keep each as a
+		// marker of its own kind (zero ICM cost). Folding Z into a NOT
+		// marker would change the circuit's unitary (X ≠ Z on
+		// superpositions), which the sim-based equivalence checks reject.
+		d.emit(qc.Gate{Kind: g.Kind, Targets: []int{g.Targets[0]}})
 	case qc.GateCNOT, qc.GateP, qc.GatePdag, qc.GateT, qc.GateTdag:
 		d.emit(g)
 	case qc.GateV, qc.GateVdag:
@@ -199,7 +201,7 @@ func Count(c *qc.Circuit) (Stats, error) {
 			s.Vs++
 		case qc.GateT, qc.GateTdag:
 			s.Ts++
-		case qc.GateNOT:
+		case qc.GateNOT, qc.GateZ:
 			s.Paulis++
 		default:
 			return Stats{}, fmt.Errorf("decompose.Count: gate %d is non-lowered (%v)", i, g)

@@ -1,0 +1,135 @@
+package decompose
+
+import (
+	"testing"
+
+	"repro/internal/icm"
+	"repro/internal/qc"
+	"repro/internal/sim"
+)
+
+// lowerToICM decomposes the circuit and converts it to ICM form, failing
+// the test on any stage error. It returns both artifacts so tests can
+// check semantic equivalence (via sim) and the teleportation footprint
+// (via icm.Stats) of the same lowering.
+func lowerToICM(t *testing.T, c *qc.Circuit) (*Result, *icm.Circuit) {
+	t.Helper()
+	r, err := Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := icm.FromDecomposed(r.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ic.Validate(); err != nil {
+		t.Fatalf("ICM invalid: %v", err)
+	}
+	return r, ic
+}
+
+// checkGate verifies one gate's full lowering: the decomposed circuit
+// implements the original unitary (up to global phase, on clean-ancilla
+// inputs), and the ICM conversion of the decomposition has exactly the
+// teleportation footprint the paper's Figs. 8/13 accounting predicts.
+func checkGate(t *testing.T, name string, n int, g qc.Gate, wantY, wantA, wantCNOTs, wantTGroups int) {
+	t.Helper()
+	c := qc.New(name, n)
+	c.Append(g)
+	r, ic := lowerToICM(t, c)
+
+	nq := len(r.Circuit.Qubits)
+	padded := c.Clone()
+	padded.Qubits = append([]string(nil), r.Circuit.Qubits...)
+	ok, err := sim.EquivalentOnCleanAncillas(nq, c.NumQubits(), padded, r.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("%s: decomposition is not unitarily equivalent", name)
+	}
+
+	s := ic.Stats()
+	if s.NumY != wantY || s.NumA != wantA || s.CNOTs != wantCNOTs || s.TGroups != wantTGroups {
+		t.Fatalf("%s: ICM footprint Y=%d A=%d CNOTs=%d TGroups=%d, want Y=%d A=%d CNOTs=%d TGroups=%d",
+			name, s.NumY, s.NumA, s.CNOTs, s.TGroups, wantY, wantA, wantCNOTs, wantTGroups)
+	}
+	// Every line beyond the logical qubits must be an injection or
+	// workspace line created by the teleportation blocks.
+	if s.Lines != nq+4*wantA+wantY {
+		// T contributes 5 lines (1 A + 1 Y + 3 workspace); P/V contribute
+		// 1 Y line each. wantY counts Y lines from both sources.
+		t.Fatalf("%s: ICM has %d lines for %d logical qubits (Y=%d A=%d)",
+			name, s.Lines, nq, s.NumY, s.NumA)
+	}
+}
+
+// TestTQECSetThroughICM covers every gate of the TQEC-native set
+// {CNOT, P, V, T} (and the adjoints that decompose identically): sim
+// equivalence of the decomposition plus the exact ICM ancilla/CNOT
+// footprint of the gate teleportation.
+func TestTQECSetThroughICM(t *testing.T) {
+	// CNOT: native, one ICM CNOT, no ancillas.
+	checkGate(t, "cnot", 2, qc.CNOT(0, 1), 0, 0, 1, 0)
+	// P (and P†): one |Y⟩ ancilla, one CNOT (Fig. 13).
+	checkGate(t, "p", 1, qc.P(0), 1, 0, 1, 0)
+	checkGate(t, "pdag", 1, qc.Gate{Kind: qc.GatePdag, Targets: []int{0}}, 1, 0, 1, 0)
+	// V (and V†): one |Y⟩ ancilla, one CNOT.
+	checkGate(t, "v", 1, qc.V(0), 1, 0, 1, 0)
+	checkGate(t, "vdag", 1, qc.Gate{Kind: qc.GateVdag, Targets: []int{0}}, 1, 0, 1, 0)
+	// T (and T†): one |A⟩, one |Y⟩ for the P-correction, six CNOTs, one
+	// time-ordered TGroup (Fig. 8(a)).
+	checkGate(t, "t", 1, qc.T(0), 1, 1, 6, 1)
+	checkGate(t, "tdag", 1, qc.Tdag(0), 1, 1, 6, 1)
+	// H = P·V·P: three |Y⟩ ancillas, three CNOTs.
+	checkGate(t, "h", 1, qc.H(0), 3, 0, 3, 0)
+}
+
+// TestPauliMarkersThroughICM pins the Pauli-frame contract: NOT and Z are
+// kept as markers of their own kind, cost nothing in the ICM conversion,
+// and stay semantically faithful. Z used to be folded into a NOT marker,
+// which silently turned Z into X — caught by the sim differential.
+func TestPauliMarkersThroughICM(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    qc.Gate
+	}{
+		{"not", qc.NOT(0)},
+		{"z", qc.Z(0)},
+	} {
+		c := qc.New(tc.name, 1)
+		c.Append(tc.g)
+		r, ic := lowerToICM(t, c)
+		if got := len(r.Circuit.Gates); got != 1 || r.Circuit.Gates[0].Kind != tc.g.Kind {
+			t.Fatalf("%s: marker not preserved: %v", tc.name, r.Circuit.Gates)
+		}
+		s := ic.Stats()
+		if s.NumY != 0 || s.NumA != 0 || s.CNOTs != 0 {
+			t.Fatalf("%s: Pauli marker has nonzero ICM cost: %+v", tc.name, s)
+		}
+		if ic.Paulis != 1 {
+			t.Fatalf("%s: Paulis = %d, want 1", tc.name, ic.Paulis)
+		}
+		st, err := Count(r.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Paulis != 1 {
+			t.Fatalf("%s: Count.Paulis = %d, want 1", tc.name, st.Paulis)
+		}
+	}
+}
+
+// TestZDecompositionEquivalence is the regression for the Z-as-NOT bug:
+// a circuit applying Z inside a superposition distinguishes X from Z, so
+// the pre-fix lowering (Z folded into a NOT marker) fails this check.
+func TestZDecompositionEquivalence(t *testing.T) {
+	c := qc.New("hz", 1)
+	c.Append(qc.H(0), qc.Z(0), qc.H(0))
+	checkEquivalent(t, c)
+
+	// And mixed into a multi-qubit circuit.
+	m := qc.New("mixz", 2)
+	m.Append(qc.H(0), qc.Z(0), qc.CNOT(0, 1), qc.Z(1), qc.H(1))
+	checkEquivalent(t, m)
+}

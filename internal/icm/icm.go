@@ -167,9 +167,9 @@ func (c *Circuit) addCNOT(control, target int) int {
 	return id
 }
 
-// FromDecomposed converts a decomposed {CNOT,P,V,T,NOT} circuit into ICM
-// form. It returns an error if the circuit contains a gate outside the
-// TQEC-supported set.
+// FromDecomposed converts a decomposed {CNOT,P,V,T} circuit (plus
+// frame-tracked NOT/Z markers) into ICM form. It returns an error if the
+// circuit contains a gate outside the TQEC-supported set.
 func FromDecomposed(dc *qc.Circuit) (*Circuit, error) {
 	if err := dc.Validate(); err != nil {
 		return nil, fmt.Errorf("icm: input invalid: %w", err)
@@ -187,7 +187,7 @@ func FromDecomposed(dc *qc.Circuit) (*Circuit, error) {
 	tSeq := make([]int, dc.NumQubits()) // per-qubit T counter
 	for gi, g := range dc.Gates {
 		switch g.Kind {
-		case qc.GateNOT:
+		case qc.GateNOT, qc.GateZ:
 			c.Paulis++
 		case qc.GateCNOT:
 			c.addCNOT(cur[g.Controls[0]], cur[g.Targets[0]])

@@ -105,6 +105,9 @@ func MCT(controls []int, t int) Gate {
 // H returns a Hadamard on target t.
 func H(t int) Gate { return Gate{Kind: GateH, Targets: []int{t}} }
 
+// Z returns a Pauli Z gate on target t.
+func Z(t int) Gate { return Gate{Kind: GateZ, Targets: []int{t}} }
+
 // P returns a phase (S) gate on target t.
 func P(t int) Gate { return Gate{Kind: GateP, Targets: []int{t}} }
 

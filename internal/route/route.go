@@ -1031,13 +1031,8 @@ func (r *router) finish() {
 // routed) result fails with an error wrapping faults.ErrDegraded, so a
 // degraded routing can never verify silently.
 func Verify(p *place.Placement, res *Result) error {
-	if err := verifyStructure(p, res); err != nil {
+	if err := VerifyStructure(p, res); err != nil {
 		return err
-	}
-	if res.PinCells != nil {
-		if err := verifyTerminals(p, res); err != nil {
-			return err
-		}
 	}
 	if len(res.Failed) > 0 {
 		return fmt.Errorf("route: %w: %d nets unrouted: %v", faults.ErrUnroutable, len(res.Failed), res.Failed)
@@ -1045,6 +1040,22 @@ func Verify(p *place.Placement, res *Result) error {
 	if res.Degraded || len(res.FallbackNets) > 0 {
 		return fmt.Errorf("route: %w: %d fallback-routed nets: %v",
 			faults.ErrDegraded, len(res.FallbackNets), res.FallbackNets)
+	}
+	return nil
+}
+
+// VerifyStructure is Verify without the strictness conditions: it checks
+// path connectivity, obstacle freedom, friend-cell sharing and terminal
+// anchoring of whatever was routed, but accepts results with unrouted or
+// fallback-routed nets. Degradation-tolerant verifiers (the unbridged
+// ablation differential in internal/check) use it to confirm a degraded
+// routing is still structurally sound.
+func VerifyStructure(p *place.Placement, res *Result) error {
+	if err := verifyStructure(p, res); err != nil {
+		return err
+	}
+	if res.PinCells != nil {
+		return verifyTerminals(p, res)
 	}
 	return nil
 }

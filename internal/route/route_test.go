@@ -383,3 +383,62 @@ func TestVerifyRejectsDegradedRouting(t *testing.T) {
 		t.Fatalf("want ErrUnroutable from Verify, got %v", err)
 	}
 }
+
+// TestNegotiationReanchorsFriendTerminals drives a deterministic
+// negotiation round over a bridged circuit (shared pins, friend-anchored
+// terminals): fault injection makes one friend-connected net fail its
+// first attempts, so the router rips up the routed friends around its
+// pins — exactly the paths other nets' terminals borrowed — before the
+// net finally routes. Every victim must be re-routed and every terminal
+// re-anchored onto a live path; Verify's terminal walk rejects any route
+// left pointing at freed cells.
+func TestNegotiationReanchorsFriendTerminals(t *testing.T) {
+	c := qc.New("renego", 4)
+	c.Append(qc.CNOT(0, 1), qc.CNOT(0, 1), qc.CNOT(1, 2), qc.CNOT(1, 2), qc.CNOT(2, 3))
+	pl := placed(t, c, true, 150)
+
+	// Fail the first friend-connected net (a net sharing a pin with
+	// another) so its negotiation rounds rip up routed friends.
+	sharedPins := map[int]int{}
+	for _, n := range pl.Nets {
+		sharedPins[n.PinA]++
+		sharedPins[n.PinB]++
+	}
+	failTarget := -1
+	for _, n := range pl.Nets {
+		if sharedPins[n.PinA] > 1 || sharedPins[n.PinB] > 1 {
+			failTarget = n.ID
+			break
+		}
+	}
+	if failTarget < 0 {
+		t.Fatal("bridging produced no shared pins; cannot exercise friend anchoring")
+	}
+
+	opts := DefaultOptions()
+	opts.Serial = true // FailNet below is stateful, so searches must not race
+	attempts := 0
+	opts.FailNet = func(id int) bool {
+		if id != failTarget {
+			return false
+		}
+		attempts++
+		return attempts <= 2 // fail the first pass and one negotiation try
+	}
+	res, err := Run(pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RippedUp == 0 {
+		t.Fatalf("negotiation never ripped up a friend (net %d, %d attempts)", failTarget, attempts)
+	}
+	if len(res.Failed) != 0 || res.Degraded {
+		t.Fatalf("negotiation did not recover: failed=%v degraded=%v", res.Failed, res.Degraded)
+	}
+	if len(res.Routes) != len(pl.Nets) {
+		t.Fatalf("routed %d of %d nets", len(res.Routes), len(pl.Nets))
+	}
+	if err := Verify(pl, res); err != nil {
+		t.Fatalf("post-negotiation verify: %v", err)
+	}
+}

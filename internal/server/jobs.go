@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/ccache"
 )
@@ -53,6 +54,11 @@ type job struct {
 	outcome ccache.Outcome
 	body    []byte
 	apiErr  *apiError
+	// now is the registry's clock; finish uses it to stamp finishedAt.
+	now func() time.Time
+	// finishedAt is when the job reached a terminal state; the registry's
+	// TTL sweep measures retention from it.
+	finishedAt time.Time
 }
 
 // view snapshots the job for serving.
@@ -82,6 +88,7 @@ func (j *job) setRunning() {
 func (j *job) finish(body []byte, outcome ccache.Outcome, aerr *apiError) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.finishedAt = j.now()
 	if aerr != nil {
 		j.status = JobFailed
 		j.apiErr = aerr
@@ -99,21 +106,36 @@ func (j *job) terminal() bool {
 	return j.status == JobDone || j.status == JobFailed
 }
 
-// jobRegistry issues job IDs and retains finished jobs up to a cap, evicting
-// the oldest finished jobs first so results stay pollable for a while
-// without unbounded memory growth. Unfinished jobs are never evicted (their
-// count is bounded by the queue depth plus the worker count).
+// expiredBefore reports whether the job finished at or before cutoff.
+func (j *job) expiredBefore(cutoff time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != JobDone && j.status != JobFailed {
+		return false
+	}
+	return !j.finishedAt.After(cutoff)
+}
+
+// jobRegistry issues job IDs and retains finished jobs up to a cap and a
+// TTL: finished jobs older than the TTL are dropped, and when the registry
+// still exceeds the cap the oldest finished jobs go first, so results stay
+// pollable for a while without unbounded memory growth. Unfinished jobs
+// are never evicted (their count is bounded by the queue depth plus the
+// worker count).
 type jobRegistry struct {
-	mu     sync.Mutex
-	prefix string
-	seq    int64
-	max    int
-	jobs   map[string]*job
-	order  []string // insertion order, for eviction scans
+	mu      sync.Mutex
+	prefix  string
+	seq     int64
+	max     int
+	ttl     time.Duration // <= 0 disables TTL eviction
+	now     func() time.Time
+	evicted int64
+	jobs    map[string]*job
+	order   []string // insertion order, for eviction scans
 }
 
 // newJobRegistry seeds the process-unique ID prefix from crypto/rand.
-func newJobRegistry(maxJobs int) (*jobRegistry, error) {
+func newJobRegistry(maxJobs int, ttl time.Duration) (*jobRegistry, error) {
 	var b [6]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		return nil, fmt.Errorf("job id prefix: %w", err)
@@ -121,6 +143,8 @@ func newJobRegistry(maxJobs int) (*jobRegistry, error) {
 	return &jobRegistry{
 		prefix: hex.EncodeToString(b[:]),
 		max:    maxJobs,
+		ttl:    ttl,
+		now:    time.Now,
 		jobs:   map[string]*job{},
 	}, nil
 }
@@ -130,36 +154,67 @@ func (r *jobRegistry) add(key string) *job {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
-	j := &job{id: fmt.Sprintf("%s-%d", r.prefix, r.seq), key: key, status: JobQueued}
+	j := &job{id: fmt.Sprintf("%s-%d", r.prefix, r.seq), key: key, status: JobQueued, now: r.now}
 	r.jobs[j.id] = j
 	r.order = append(r.order, j.id)
-	if len(r.jobs) > r.max {
-		r.evictLocked()
-	}
+	r.sweepLocked()
 	return j
 }
 
-// evictLocked removes the oldest finished job, if any. Callers hold r.mu.
-func (r *jobRegistry) evictLocked() {
-	for i, id := range r.order {
+// sweepLocked drops finished jobs past the TTL, then — if the registry
+// still exceeds its cap — the oldest finished jobs until it fits. Stale
+// order entries are skipped, not treated as evictions: the previous
+// implementation returned as soon as it saw one, leaving the registry over
+// its cap. Callers hold r.mu.
+func (r *jobRegistry) sweepLocked() {
+	var cutoff time.Time
+	if r.ttl > 0 {
+		cutoff = r.now().Add(-r.ttl)
+	}
+	kept := r.order[:0]
+	for _, id := range r.order {
 		j, ok := r.jobs[id]
-		if ok && !j.terminal() {
+		if !ok {
+			continue // stale order entry: drop and keep scanning
+		}
+		if r.ttl > 0 && j.expiredBefore(cutoff) {
+			delete(r.jobs, id)
+			r.evicted++
 			continue
 		}
-		if ok {
-			delete(r.jobs, id)
-		}
-		r.order = append(r.order[:i], r.order[i+1:]...)
+		kept = append(kept, id)
+	}
+	r.order = kept
+	if len(r.jobs) <= r.max {
 		return
 	}
+	kept = r.order[:0]
+	for _, id := range r.order {
+		if len(r.jobs) > r.max && r.jobs[id].terminal() {
+			delete(r.jobs, id)
+			r.evicted++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	r.order = kept
 }
 
-// get looks a job up by ID.
+// get looks a job up by ID, sweeping expired jobs first so a TTL-evicted
+// job is not observable after its deadline.
 func (r *jobRegistry) get(id string) (*job, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.sweepLocked()
 	j, ok := r.jobs[id]
 	return j, ok
+}
+
+// evictions returns the number of jobs dropped by TTL or cap eviction.
+func (r *jobRegistry) evictions() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
 }
 
 // counts tallies jobs by lifecycle state.

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ccache"
+)
+
+// fakeClock is a manually advanced clock for registry TTL tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestRegistry(t *testing.T, max int, ttl time.Duration) (*jobRegistry, *fakeClock) {
+	t.Helper()
+	r, err := newJobRegistry(max, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r.now = clk.Now
+	return r, clk
+}
+
+// TestJobTTLEviction is the regression for unbounded async-job retention:
+// finished jobs past the TTL must become unobservable and count as
+// evictions, while unfinished jobs are never TTL-evicted.
+func TestJobTTLEviction(t *testing.T) {
+	r, clk := newTestRegistry(t, 100, time.Minute)
+
+	done := r.add("k1")
+	done.finish([]byte(`{}`), ccache.Miss, nil)
+	pending := r.add("k2")
+
+	// Within the TTL both jobs are pollable.
+	clk.Advance(30 * time.Second)
+	if _, ok := r.get(done.id); !ok {
+		t.Fatal("finished job evicted before its TTL")
+	}
+
+	// Past the TTL the finished job is gone; the pending one survives.
+	clk.Advance(time.Minute)
+	if _, ok := r.get(done.id); ok {
+		t.Fatal("finished job still pollable after its TTL")
+	}
+	if _, ok := r.get(pending.id); !ok {
+		t.Fatal("unfinished job was TTL-evicted")
+	}
+	if n := r.evictions(); n != 1 {
+		t.Fatalf("evictions = %d, want 1", n)
+	}
+
+	// A job finishing after the sweep starts a fresh TTL window.
+	pending.finish(nil, ccache.Miss, &apiError{Status: 500, Body: ErrorBody{Message: "boom"}})
+	clk.Advance(30 * time.Second)
+	if _, ok := r.get(pending.id); !ok {
+		t.Fatal("freshly finished job evicted early")
+	}
+	clk.Advance(time.Minute)
+	if _, ok := r.get(pending.id); ok {
+		t.Fatal("failed job still pollable after its TTL")
+	}
+	if n := r.evictions(); n != 2 {
+		t.Fatalf("evictions = %d, want 2", n)
+	}
+}
+
+// TestJobCapEviction checks max-entries eviction: exceeding the cap drops
+// the oldest finished jobs first and never touches unfinished ones, even
+// when that leaves the registry temporarily over its cap.
+func TestJobCapEviction(t *testing.T) {
+	r, _ := newTestRegistry(t, 2, -1) // TTL disabled
+
+	j1 := r.add("k1")
+	j1.finish(nil, ccache.Hit, nil)
+	j2 := r.add("k2")
+	j2.finish(nil, ccache.Hit, nil)
+	j3 := r.add("k3")
+
+	if _, ok := r.get(j1.id); ok {
+		t.Fatal("oldest finished job not evicted at the cap")
+	}
+	if _, ok := r.get(j2.id); !ok {
+		t.Fatal("newer finished job evicted too eagerly")
+	}
+	if _, ok := r.get(j3.id); !ok {
+		t.Fatal("new job missing")
+	}
+	if n := r.evictions(); n != 1 {
+		t.Fatalf("evictions = %d, want 1", n)
+	}
+
+	// Unfinished jobs are never evicted: the registry may exceed its cap.
+	j4 := r.add("k4")
+	j5 := r.add("k5")
+	for _, j := range []*job{j3, j4, j5} {
+		if _, ok := r.get(j.id); !ok {
+			t.Fatalf("unfinished job %s evicted", j.id)
+		}
+	}
+}
+
+// TestJobEvictionsSurfacedInMetrics checks the /v1/metrics plumbing: job
+// evictions appear in the snapshot's jobs counters.
+func TestJobEvictionsSurfacedInMetrics(t *testing.T) {
+	s, err := New(Config{MaxJobs: 1, JobTTL: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1 := s.jobs.add("k1")
+	j1.finish([]byte(`{}`), ccache.Hit, nil)
+	s.jobs.add("k2")
+
+	snap := s.snapshot()
+	if snap.Jobs.Evicted != 1 {
+		t.Fatalf("snapshot.Jobs.Evicted = %d, want 1", snap.Jobs.Evicted)
+	}
+}

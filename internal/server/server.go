@@ -52,6 +52,9 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxJobs bounds the async job registry (default 1024).
 	MaxJobs int
+	// JobTTL bounds how long finished async jobs stay pollable (default
+	// 15m; negative disables TTL eviction, leaving only the MaxJobs cap).
+	JobTTL time.Duration
 	// MaxBodyBytes bounds request bodies (default 4 MiB).
 	MaxBodyBytes int64
 }
@@ -75,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.JobTTL == 0 {
+		c.JobTTL = 15 * time.Minute
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 4 << 20
@@ -105,7 +111,7 @@ type Server struct {
 // New builds a server from the config.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	jobs, err := newJobRegistry(cfg.MaxJobs)
+	jobs, err := newJobRegistry(cfg.MaxJobs, cfg.JobTTL)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
@@ -284,6 +290,9 @@ type JobsStats struct {
 	Done int `json:"done"`
 	// Failed is the number of retained failed jobs.
 	Failed int `json:"failed"`
+	// Evicted counts finished jobs dropped by TTL or max-entries
+	// eviction.
+	Evicted int64 `json:"evicted"`
 }
 
 // MetricsSnapshot is the JSON body of GET /v1/metrics.
@@ -325,6 +334,7 @@ func (s *Server) snapshot() MetricsSnapshot {
 			Running:   running,
 			Done:      done,
 			Failed:    failed,
+			Evicted:   s.jobs.evictions(),
 		},
 		Cache: s.cache.Stats(),
 		LatencyNS: map[string]metrics.HistogramSnapshot{
