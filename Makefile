@@ -1,8 +1,9 @@
 # Build/verify entry points. `make ci` is the full gate: vet, the
 # repo-specific tqeclint analyzers (doccomment included — the docs gate),
-# build, race-enabled tests, a replay of the committed fuzz corpora, and
-# a one-iteration bench-json smoke run that validates the BENCH_*.json
-# schema round-trips.
+# build, race-enabled tests, a replay of the committed fuzz corpora, a
+# one-iteration bench-json smoke run that validates the BENCH_*.json
+# schema round-trips, and a bounded chaos soak of the resilient service
+# layer (`make chaos`).
 
 GO ?= go
 
@@ -12,7 +13,7 @@ GO ?= go
 COVER_MIN ?= 77
 COVER_OUT ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/tqec_cover.out
 
-.PHONY: all build vet lint test race cover fuzz-seeds bench bench-json bench-smoke check ci
+.PHONY: all build vet lint test race cover fuzz-seeds bench bench-json bench-smoke check chaos ci
 
 all: build
 
@@ -78,4 +79,13 @@ bench-smoke:
 check:
 	$(GO) run ./cmd/tqecverify -bench seed -random 2 -timeout 10m
 
-ci: vet lint build race cover fuzz-seeds check bench-smoke
+# Bounded chaos soak under the race detector: the service-layer fault
+# drill (internal/harness TestChaosSoak) hammers a journal-backed server
+# with crashes, torn-tail journal corruption, 5xx bursts, slow responses
+# and a fault mix of injected transients for CHAOS_SECONDS, then proves
+# every accepted job terminal exactly once with byte-identical payloads.
+CHAOS_SECONDS ?= 30
+chaos:
+	TQEC_CHAOS_SECONDS=$(CHAOS_SECONDS) $(GO) test -race -count=1 -run TestChaosSoak -timeout 10m ./internal/harness
+
+ci: vet lint build race cover fuzz-seeds check bench-smoke chaos

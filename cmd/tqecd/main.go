@@ -4,6 +4,8 @@
 //
 //	tqecd [-addr :8321] [-workers N] [-queue N] [-cache-bytes N]
 //	      [-timeout 2m] [-max-timeout 10m] [-drain-timeout 30s]
+//	      [-journal-dir DIR] [-journal-segment-bytes N]
+//	      [-allow-fault-injection]
 //
 // Endpoints:
 //
@@ -15,6 +17,11 @@
 //
 // SIGINT/SIGTERM triggers a graceful drain: new work is rejected with 503
 // while queued jobs finish, bounded by -drain-timeout.
+//
+// With -journal-dir set, async jobs are durable: every lifecycle event is
+// fsync'd to a write-ahead log before it is acknowledged, and on restart
+// the journal is replayed — interrupted jobs re-enqueue under their
+// original IDs, finished jobs stay pollable with byte-identical results.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/server"
 )
 
@@ -40,26 +48,45 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-compile deadline (0 = default 2m)")
 	maxTimeout := flag.Duration("max-timeout", 0, "ceiling on client-requested deadlines (0 = default 10m)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	journalDir := flag.String("journal-dir", "", "directory for the durable job journal (empty = in-memory jobs only)")
+	journalSegBytes := flag.Int64("journal-segment-bytes", 0, "journal segment rotation threshold (0 = default 8MiB)")
+	allowFaults := flag.Bool("allow-fault-injection", false, "admit the fault_attempts chaos hook in request options")
 	flag.Parse()
 
 	cfg := server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheBytes:     *cacheBytes,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		CacheBytes:          *cacheBytes,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTimeout,
+		AllowFaultInjection: *allowFaults,
 	}
-	if err := run(*addr, cfg, *drainTimeout); err != nil {
+	if err := run(*addr, cfg, *drainTimeout, *journalDir, *journalSegBytes); err != nil {
 		fmt.Fprintln(os.Stderr, "tqecd:", err)
 		os.Exit(1)
 	}
 }
 
 // run wires the compile server into an http.Server and blocks until a
-// termination signal completes the drain.
-func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
+// termination signal completes the drain. With a journal directory it
+// opens (and replays) the write-ahead log first and closes it after the
+// drain, so every completed job's terminal event is on disk before exit.
+func run(addr string, cfg server.Config, drainTimeout time.Duration, journalDir string, journalSegBytes int64) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	var jnl *journal.Journal
+	if journalDir != "" {
+		var err error
+		jnl, err = journal.Open(journalDir, journal.Options{SegmentBytes: journalSegBytes})
+		if err != nil {
+			return err
+		}
+		cfg.Journal = jnl
+		if n := len(jnl.Recovered()); n > 0 {
+			fmt.Fprintf(os.Stderr, "tqecd: journal replayed %d job(s) from %s\n", n, journalDir)
+		}
+	}
 
 	s, err := server.New(cfg)
 	if err != nil {
@@ -93,6 +120,11 @@ func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
 	}
 	if err := s.Drain(dctx); err != nil {
 		return err
+	}
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintln(os.Stderr, "tqecd: drained cleanly")
 	return nil

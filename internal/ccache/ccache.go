@@ -104,6 +104,17 @@ func New(maxBytes int64) *Cache {
 	}
 }
 
+// Put inserts a payload directly, bypassing the single-flight machinery.
+// It exists for crash recovery: the server re-populates the cache from the
+// journal's canonical result bytes so a restart serves the same
+// byte-identical payloads a live process would. Like Do's insertions it
+// respects the byte budget and does not count as a hit or miss.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(key, val)
+}
+
 // Get returns the cached payload for key, if any, marking it recently
 // used. It does not count as a Do hit/miss.
 func (c *Cache) Get(key string) ([]byte, bool) {

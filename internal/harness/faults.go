@@ -48,7 +48,16 @@ func (f *FaultPlan) Install(ctx context.Context, opts *tqec.Options) context.Con
 		for _, id := range f.FailNets {
 			bad[id] = true
 		}
-		opts.Route.FailNet = func(id int) bool { return bad[id] }
+		// Chain rather than clobber, mirroring BeforeStage below: composing
+		// two plans (or a plan over a caller-set hook) must fail the union
+		// of their nets, not silently drop the earlier set.
+		prevFail := opts.Route.FailNet
+		opts.Route.FailNet = func(id int) bool {
+			if prevFail != nil && prevFail(id) {
+				return true
+			}
+			return bad[id]
+		}
 	}
 	prev := opts.Hooks.BeforeStage
 	opts.Hooks.BeforeStage = func(stage tqec.Stage) error {

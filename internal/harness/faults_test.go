@@ -136,6 +136,45 @@ func TestForcedNetFailuresDegradeGracefully(t *testing.T) {
 	}
 }
 
+// Two composed FaultPlans must fail the union of their nets: Install used
+// to clobber a pre-existing Route.FailNet hook, silently dropping the
+// earlier plan's set, where BeforeStage already chained correctly.
+func TestComposedFaultPlansFailNetUnion(t *testing.T) {
+	first := &FaultPlan{FailNets: []int{0, 1}}
+	second := &FaultPlan{FailNets: []int{2, 3}}
+	opts := tqec.FastOptions()
+	ctx := first.Install(context.Background(), &opts)
+	ctx = second.Install(ctx, &opts)
+
+	for id := 0; id < 4; id++ {
+		if !opts.Route.FailNet(id) {
+			t.Fatalf("net %d escaped the composed plans", id)
+		}
+	}
+	if opts.Route.FailNet(4) {
+		t.Fatal("net 4 failed by neither plan")
+	}
+
+	// The composed hook drives a real compile the same way one plan does:
+	// every injected net degrades to fallback routing, none hard-fails.
+	res, err := tqec.CompileContext(ctx, smallCircuit(), opts)
+	if err != nil {
+		t.Fatalf("composed degraded compile should succeed, got %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("result should be flagged Degraded")
+	}
+	failed := map[int]bool{}
+	for _, f := range res.Routing.FailedNets {
+		failed[f.NetID] = true
+	}
+	for id := 0; id < 4; id++ {
+		if !failed[id] {
+			t.Fatalf("net %d missing from FailedNets: the second plan clobbered the first", id)
+		}
+	}
+}
+
 // A PanicStage without an installed Raise degrades to a forced error (the
 // non-test build contains no panic site).
 func TestPanicStageWithoutRaiserIsError(t *testing.T) {

@@ -1,0 +1,46 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSegment feeds arbitrary bytes through the segment decoder: it
+// must never panic, must report a clean prefix no longer than the input,
+// and decoding the clean prefix again must reproduce exactly the same
+// events (the prefix property the torn-tail truncation relies on). The
+// seed corpus under testdata/fuzz is replayed by `make fuzz-seeds`.
+func FuzzDecodeSegment(f *testing.F) {
+	valid, err := encodeFrame(Event{Kind: KindAccepted, JobID: "a-1", Key: "k", Request: []byte(`{"bench":"x"}`)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	done, err := encodeFrame(Event{Kind: KindDone, JobID: "a-1", Key: "k", Result: []byte(`{"volume":7}`), Outcome: "miss"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(append(append([]byte{}, valid...), done...))
+	f.Add(append(append([]byte{}, valid...), done[:len(done)/2]...)) // torn tail
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})                // absurd length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, clean := DecodeSegment(data)
+		if clean < 0 || clean > int64(len(data)) {
+			t.Fatalf("clean offset %d out of range [0,%d]", clean, len(data))
+		}
+		again, cleanAgain := DecodeSegment(data[:clean])
+		if cleanAgain != clean {
+			t.Fatalf("re-decode of clean prefix consumed %d, want %d", cleanAgain, clean)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("re-decode yielded %d events, want %d", len(again), len(events))
+		}
+		for i := range events {
+			if events[i].Kind != again[i].Kind || events[i].JobID != again[i].JobID ||
+				!bytes.Equal(events[i].Result, again[i].Result) || !bytes.Equal(events[i].Request, again[i].Request) {
+				t.Fatalf("event %d differs across re-decode", i)
+			}
+		}
+	})
+}

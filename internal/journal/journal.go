@@ -1,0 +1,607 @@
+// Package journal is tqecd's durable write-ahead log of asynchronous job
+// lifecycle events. Every accepted async compile is recorded — request
+// bytes included — before the server acknowledges it, every state change
+// (running, done, failed) is appended with a checksum and fsync'd, and on
+// restart the log is replayed so that interrupted jobs are re-enqueued and
+// finished jobs stay pollable with byte-identical result payloads.
+//
+// On-disk layout: a directory of segment files named %08d.wal, replayed in
+// sequence order. Each record is framed as
+//
+//	[uint32 LE payload length][uint32 LE CRC32(payload)][payload JSON]
+//
+// so a torn tail (a crash mid-write) is detected by the length or checksum
+// and truncated away rather than poisoning recovery. Appends go to the
+// highest-numbered segment; once it exceeds the configured size the journal
+// rotates to a fresh segment and compacts the older ones down to the
+// minimal event set that reproduces the live state (interrupted jobs keep
+// their accepted/running events, the most recent finished jobs keep their
+// terminal event, older finished jobs are dropped). Replay is idempotent —
+// duplicate events, including a second done record written by a crash
+// between append and acknowledgement, are ignored — which also makes a
+// crash in the middle of compaction safe: leftover pre-compaction segments
+// merely replay a subset of the compacted events again.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Kind labels one lifecycle event.
+type Kind string
+
+// Lifecycle event kinds, in the order a healthy job emits them.
+const (
+	// KindAccepted records a newly accepted job with its request bytes.
+	KindAccepted Kind = "accepted"
+	// KindRunning records a worker picking the job up.
+	KindRunning Kind = "running"
+	// KindDone records successful completion with the canonical result
+	// bytes.
+	KindDone Kind = "done"
+	// KindFailed records terminal failure with the structured error body.
+	KindFailed Kind = "failed"
+)
+
+// Event is one journal record. Byte fields marshal as base64 inside the
+// record's JSON payload; the framing checksum covers the whole payload.
+type Event struct {
+	// Kind is the lifecycle transition being recorded.
+	Kind Kind `json:"kind"`
+	// JobID identifies the job across its whole lifecycle.
+	JobID string `json:"job_id"`
+	// Key is the compilation's content address (accepted/done events).
+	Key string `json:"key,omitempty"`
+	// Request holds the raw compile-request body (accepted events).
+	Request []byte `json:"request,omitempty"`
+	// Result holds the canonical result payload (done events).
+	Result []byte `json:"result,omitempty"`
+	// Outcome is the cache outcome string of a done event.
+	Outcome string `json:"outcome,omitempty"`
+	// Error holds the structured error JSON of a failed event.
+	Error []byte `json:"error,omitempty"`
+}
+
+// Status is a job's replayed lifecycle state.
+type Status string
+
+// Replayed job states. Accepted and Running are both "interrupted" from a
+// recovery point of view: the job never reached a terminal event.
+const (
+	// StatusAccepted means the job was accepted but no worker claimed it.
+	StatusAccepted Status = "accepted"
+	// StatusRunning means a worker claimed the job but never finished it.
+	StatusRunning Status = "running"
+	// StatusDone means the job finished with a result payload.
+	StatusDone Status = "done"
+	// StatusFailed means the job failed with a structured error.
+	StatusFailed Status = "failed"
+)
+
+// JobState is the replayed state of one job: the fold of its events.
+type JobState struct {
+	// ID is the job's identifier.
+	ID string
+	// Key is the compilation's content address.
+	Key string
+	// Status is the replayed lifecycle state.
+	Status Status
+	// Request holds the raw request bytes from the accepted event.
+	Request []byte
+	// Result holds the result payload of a done job.
+	Result []byte
+	// Outcome is the recorded cache outcome of a done job.
+	Outcome string
+	// Error holds the structured error JSON of a failed job.
+	Error []byte
+}
+
+// Terminal reports whether the job reached done or failed.
+func (s *JobState) Terminal() bool {
+	return s.Status == StatusDone || s.Status == StatusFailed
+}
+
+// Interrupted reports whether the job was accepted but never finished —
+// the set recovery must re-enqueue.
+func (s *JobState) Interrupted() bool { return !s.Terminal() }
+
+// Options tunes a journal. The zero value uses the defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold for the active segment
+	// (default 8 MiB).
+	SegmentBytes int64
+	// RetainFinished bounds how many terminal jobs survive compaction,
+	// newest first (default 1024, mirroring the server's job-registry
+	// cap). Interrupted jobs are always retained.
+	RetainFinished int
+	// NoSync skips the per-append fsync. Only for tests that measure
+	// logic, not durability.
+	NoSync bool
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.RetainFinished <= 0 {
+		o.RetainFinished = 1024
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the journal's counters, shaped for
+// the server's /v1/metrics endpoint.
+type Stats struct {
+	// Appends counts records durably written.
+	Appends int64 `json:"appends"`
+	// Rotations counts segment rotations.
+	Rotations int64 `json:"rotations"`
+	// Compactions counts compaction passes.
+	Compactions int64 `json:"compactions"`
+	// DroppedJobs counts finished jobs dropped by compaction retention.
+	DroppedJobs int64 `json:"dropped_jobs"`
+	// TornBytes is how many trailing bytes recovery truncated away.
+	TornBytes int64 `json:"torn_bytes"`
+	// Segments is the current segment-file count.
+	Segments int `json:"segments"`
+	// ActiveBytes is the active segment's current size.
+	ActiveBytes int64 `json:"active_bytes"`
+	// FsyncNS is the per-append fsync latency histogram.
+	FsyncNS metrics.HistogramSnapshot `json:"fsync_ns"`
+}
+
+// maxRecord bounds a single record's payload so a corrupt length field
+// cannot demand an absurd allocation during replay.
+const maxRecord = 64 << 20
+
+// frameHeader is the per-record framing overhead: length plus checksum.
+const frameHeader = 8
+
+// Journal is a durable, append-only job event log. All methods are safe
+// for concurrent use. Create with Open; the caller that opened it closes
+// it after the server drains.
+type Journal struct {
+	mu        sync.Mutex
+	dir       string
+	opts      Options
+	active    *os.File
+	activeSeq int
+	activeLen int64
+	segments  int
+
+	state map[string]*JobState
+	order []string // acceptance order of the jobs in state
+
+	recovered []JobState
+
+	appends, rotations, compactions, dropped, tornBytes int64
+	fsync                                               *metrics.Histogram
+}
+
+// Open replays every segment under dir (creating the directory when
+// missing), truncates a torn tail, and returns a journal positioned to
+// append. The replayed job states are available from Recovered.
+func Open(dir string, opts Options) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{
+		dir:   dir,
+		opts:  opts.withDefaults(),
+		state: map[string]*JobState{},
+		fsync: metrics.NewHistogram(),
+	}
+	if err := j.replay(); err != nil {
+		return nil, err
+	}
+	for _, id := range j.order {
+		j.recovered = append(j.recovered, *j.state[id])
+	}
+	return j, nil
+}
+
+// Recovered returns the job states replayed at Open, in acceptance order.
+// The slice is a snapshot: later appends do not change it.
+func (j *Journal) Recovered() []JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovered
+}
+
+// segmentPath renders the path of segment seq.
+func (j *Journal) segmentPath(seq int) string {
+	return filepath.Join(j.dir, fmt.Sprintf("%08d.wal", seq))
+}
+
+// listSegments returns the existing segment sequence numbers in ascending
+// order.
+func (j *Journal) listSegments() ([]int, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		var seq int
+		if _, err := fmt.Sscanf(e.Name(), "%08d.wal", &seq); err == nil && e.Name() == fmt.Sprintf("%08d.wal", seq) {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// replay loads every segment into the state map and opens the active
+// segment for appending, truncating a torn tail first.
+func (j *Journal) replay() error {
+	seqs, err := j.listSegments()
+	if err != nil {
+		return err
+	}
+	if len(seqs) == 0 {
+		return j.openActive(1, 0)
+	}
+	for i, seq := range seqs {
+		data, err := os.ReadFile(j.segmentPath(seq))
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		events, clean := DecodeSegment(data)
+		for _, ev := range events {
+			j.apply(ev)
+		}
+		if torn := int64(len(data)) - clean; torn > 0 && i == len(seqs)-1 {
+			// Only the active segment may legitimately carry a torn
+			// tail (a crash mid-append); cut it off so the next append
+			// starts at a clean frame boundary.
+			j.tornBytes += torn
+			if err := os.Truncate(j.segmentPath(seq), clean); err != nil {
+				return fmt.Errorf("journal: truncate torn tail: %w", err)
+			}
+		}
+	}
+	j.segments = len(seqs)
+	last := seqs[len(seqs)-1]
+	info, err := os.Stat(j.segmentPath(last))
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return j.openActive(last, info.Size())
+}
+
+// openActive opens (creating if needed) segment seq for appending.
+func (j *Journal) openActive(seq int, size int64) error {
+	f, err := os.OpenFile(j.segmentPath(seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.active = f
+	j.activeSeq = seq
+	j.activeLen = size
+	if j.segments == 0 {
+		j.segments = 1
+	}
+	return nil
+}
+
+// apply folds one event into the state map, idempotently: a terminal state
+// is sticky, so duplicate done/failed records (a crash between append and
+// acknowledgement) do not double-complete, and out-of-order duplicates
+// from an interrupted compaction are ignored.
+func (j *Journal) apply(ev Event) {
+	st, ok := j.state[ev.JobID]
+	if !ok {
+		st = &JobState{ID: ev.JobID, Status: StatusAccepted}
+		j.state[ev.JobID] = st
+		j.order = append(j.order, ev.JobID)
+	}
+	if ev.Key != "" {
+		st.Key = ev.Key
+	}
+	switch ev.Kind {
+	case KindAccepted:
+		if len(ev.Request) > 0 && len(st.Request) == 0 {
+			st.Request = ev.Request
+		}
+	case KindRunning:
+		if !st.Terminal() {
+			st.Status = StatusRunning
+		}
+	case KindDone:
+		if !st.Terminal() {
+			st.Status = StatusDone
+			st.Result = ev.Result
+			st.Outcome = ev.Outcome
+		}
+	case KindFailed:
+		if !st.Terminal() {
+			st.Status = StatusFailed
+			st.Error = ev.Error
+		}
+	}
+}
+
+// encodeFrame renders one event as a length- and checksum-framed record.
+func encodeFrame(ev Event) ([]byte, error) {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode: %w", err)
+	}
+	if len(payload) > maxRecord {
+		return nil, fmt.Errorf("journal: record of %d bytes exceeds the %d-byte cap", len(payload), maxRecord)
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	return frame, nil
+}
+
+// Append durably writes one event: frame, write, fsync, then rotate when
+// the active segment crossed the size threshold. The event is visible to a
+// subsequent recovery the moment Append returns.
+func (j *Journal) Append(ev Event) error {
+	frame, err := encodeFrame(ev)
+	if err != nil {
+		return err
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.active == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if _, err := j.active.Write(frame); err != nil {
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	j.activeLen += int64(len(frame))
+	if !j.opts.NoSync {
+		start := time.Now()
+		if err := j.active.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+		j.fsync.Observe(time.Since(start))
+	}
+	j.appends++
+	j.apply(ev)
+	if j.activeLen >= j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateLocked closes the active segment, opens the next one, and compacts
+// everything older than the new active segment. Callers hold j.mu.
+func (j *Journal) rotateLocked() error {
+	if err := j.active.Close(); err != nil {
+		return fmt.Errorf("journal: close segment: %w", err)
+	}
+	oldSeqs, err := j.listSegments()
+	if err != nil {
+		return err
+	}
+	if err := j.openActive(j.activeSeq+1, 0); err != nil {
+		return err
+	}
+	if err := j.syncDir(); err != nil {
+		return err
+	}
+	j.rotations++
+	j.segments = len(oldSeqs) + 1
+	return j.compactLocked(oldSeqs)
+}
+
+// compactLocked rewrites the segments in seqs (all older than the active
+// one) into a single segment holding the minimal replayable state:
+// interrupted jobs in full, the newest RetainFinished terminal jobs as
+// accepted+terminal pairs, older terminal jobs dropped. The merged segment
+// atomically replaces the lowest input segment — it keeps that sequence
+// number, so it replays before the active segment — and the rest are
+// deleted afterwards. A crash between those two steps leaves extra
+// segments whose events are a subset of the merged ones; replay is
+// idempotent, so nothing is lost or doubled. Callers hold j.mu.
+func (j *Journal) compactLocked(seqs []int) error {
+	if len(seqs) == 0 {
+		return nil
+	}
+	// Decide retention: walk terminal jobs newest-first.
+	terminalSeen := 0
+	drop := map[string]bool{}
+	for i := len(j.order) - 1; i >= 0; i-- {
+		st := j.state[j.order[i]]
+		if !st.Terminal() {
+			continue
+		}
+		terminalSeen++
+		if terminalSeen > j.opts.RetainFinished {
+			drop[st.ID] = true
+		}
+	}
+
+	tmp := filepath.Join(j.dir, "compact.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	writeEvent := func(ev Event) error {
+		frame, err := encodeFrame(ev)
+		if err != nil {
+			return err
+		}
+		_, err = f.Write(frame)
+		return err
+	}
+	for _, id := range j.order {
+		if drop[id] {
+			continue
+		}
+		st := j.state[id]
+		if err := j.writeState(writeEvent, st); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				return fmt.Errorf("%w (and close: %v)", err, cerr)
+			}
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return fmt.Errorf("journal: compact fsync: %w (and close: %v)", err, cerr)
+		}
+		return fmt.Errorf("journal: compact fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: compact close: %w", err)
+	}
+	if err := os.Rename(tmp, j.segmentPath(seqs[0])); err != nil {
+		return fmt.Errorf("journal: compact rename: %w", err)
+	}
+	if err := j.syncDir(); err != nil {
+		return err
+	}
+	for _, seq := range seqs[1:] {
+		if err := os.Remove(j.segmentPath(seq)); err != nil {
+			return fmt.Errorf("journal: compact remove: %w", err)
+		}
+	}
+	if err := j.syncDir(); err != nil {
+		return err
+	}
+	// Apply retention to the in-memory state too, so memory stays bounded
+	// and the next compaction does not resurrect dropped jobs.
+	if len(drop) > 0 {
+		kept := j.order[:0]
+		for _, id := range j.order {
+			if drop[id] {
+				delete(j.state, id)
+				j.dropped++
+				continue
+			}
+			kept = append(kept, id)
+		}
+		j.order = kept
+	}
+	j.compactions++
+	j.segments = 2 // the compacted segment plus the active one
+	return nil
+}
+
+// writeState emits the minimal events that reproduce st on replay.
+func (j *Journal) writeState(writeEvent func(Event) error, st *JobState) error {
+	if err := writeEvent(Event{Kind: KindAccepted, JobID: st.ID, Key: st.Key, Request: st.Request}); err != nil {
+		return fmt.Errorf("journal: compact write: %w", err)
+	}
+	var final *Event
+	switch st.Status {
+	case StatusRunning:
+		final = &Event{Kind: KindRunning, JobID: st.ID}
+	case StatusDone:
+		final = &Event{Kind: KindDone, JobID: st.ID, Key: st.Key, Result: st.Result, Outcome: st.Outcome}
+	case StatusFailed:
+		final = &Event{Kind: KindFailed, JobID: st.ID, Error: st.Error}
+	}
+	if final != nil {
+		if err := writeEvent(*final); err != nil {
+			return fmt.Errorf("journal: compact write: %w", err)
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs the journal directory so file creations, renames and
+// removals are durable.
+func (j *Journal) syncDir() error {
+	d, err := os.Open(j.dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("journal: dir fsync: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("journal: dir close: %w", cerr)
+	}
+	return nil
+}
+
+// Stats snapshots the journal's counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Appends:     j.appends,
+		Rotations:   j.rotations,
+		Compactions: j.compactions,
+		DroppedJobs: j.dropped,
+		TornBytes:   j.tornBytes,
+		Segments:    j.segments,
+		ActiveBytes: j.activeLen,
+		FsyncNS:     j.fsync.Snapshot(),
+	}
+}
+
+// Close syncs and closes the active segment. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.active == nil {
+		return nil
+	}
+	f := j.active
+	j.active = nil
+	if !j.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				return fmt.Errorf("journal: close fsync: %w (and close: %v)", err, cerr)
+			}
+			return fmt.Errorf("journal: close fsync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: close: %w", err)
+	}
+	return nil
+}
+
+// DecodeSegment parses one segment's bytes into its events and returns the
+// clean prefix length: the offset after the last whole, checksum-valid
+// record. Decoding stops — without error — at the first torn or corrupt
+// frame, which is how a crash mid-append (or bit rot caught by the CRC)
+// degrades to losing only the tail records, never the whole segment.
+func DecodeSegment(data []byte) (events []Event, clean int64) {
+	off := 0
+	for {
+		if len(data)-off < frameHeader {
+			return events, int64(off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecord || n > len(data)-off-frameHeader {
+			return events, int64(off)
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return events, int64(off)
+		}
+		var ev Event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return events, int64(off)
+		}
+		events = append(events, ev)
+		off += frameHeader + n
+	}
+}

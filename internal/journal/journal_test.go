@@ -1,0 +1,306 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testOpts keeps segments tiny so rotation and compaction trigger quickly,
+// and skips fsync so the suite stays fast.
+func testOpts() Options {
+	return Options{SegmentBytes: 1 << 10, RetainFinished: 4, NoSync: true}
+}
+
+// lifecycle appends a full accepted→running→done trajectory for one job.
+func lifecycle(t *testing.T, j *Journal, id, key string, result []byte) {
+	t.Helper()
+	for _, ev := range []Event{
+		{Kind: KindAccepted, JobID: id, Key: key, Request: []byte(`{"req":"` + id + `"}`)},
+		{Kind: KindRunning, JobID: id},
+		{Kind: KindDone, JobID: id, Key: key, Result: result, Outcome: "miss"},
+	} {
+		if err := j.Append(ev); err != nil {
+			t.Fatalf("append %s/%s: %v", id, ev.Kind, err)
+		}
+	}
+}
+
+func TestRoundTripRecovery(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifecycle(t, j, "a-1", "key1", []byte(`{"volume":42}`))
+	if err := j.Append(Event{Kind: KindAccepted, JobID: "a-2", Key: "key2", Request: []byte(`{"req":"a-2"}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Event{Kind: KindRunning, JobID: "a-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Event{Kind: KindFailed, JobID: "a-3", Error: []byte(`{"message":"boom"}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rec := j2.Recovered()
+	if len(rec) != 3 {
+		t.Fatalf("recovered %d jobs, want 3: %+v", len(rec), rec)
+	}
+	byID := map[string]JobState{}
+	for _, st := range rec {
+		byID[st.ID] = st
+	}
+	done := byID["a-1"]
+	if done.Status != StatusDone || !bytes.Equal(done.Result, []byte(`{"volume":42}`)) || done.Outcome != "miss" || done.Key != "key1" {
+		t.Fatalf("done job replayed wrong: %+v", done)
+	}
+	if interrupted := byID["a-2"]; interrupted.Status != StatusRunning || !interrupted.Interrupted() {
+		t.Fatalf("running job replayed wrong: %+v", interrupted)
+	}
+	if !bytes.Equal(byID["a-2"].Request, []byte(`{"req":"a-2"}`)) {
+		t.Fatalf("request bytes lost: %+v", byID["a-2"])
+	}
+	if failed := byID["a-3"]; failed.Status != StatusFailed || !bytes.Equal(failed.Error, []byte(`{"message":"boom"}`)) {
+		t.Fatalf("failed job replayed wrong: %+v", failed)
+	}
+}
+
+// A crash mid-append leaves a torn final record; recovery must keep every
+// whole record, truncate the tail, and keep appending cleanly afterwards.
+func TestTornFinalRecordTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifecycle(t, j, "a-1", "key1", []byte(`{"ok":1}`))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg := filepath.Join(dir, "00000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append half of a would-be record: a plausible header with a body
+	// that never finished writing.
+	torn := append(append([]byte{}, data...), 0xFF, 0x00, 0x00, 0x00, 0x12, 0x34)
+	if err := os.WriteFile(seg, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := j2.Recovered()
+	if len(rec) != 1 || rec[0].Status != StatusDone {
+		t.Fatalf("recovered %+v, want the one done job", rec)
+	}
+	if st := j2.Stats(); st.TornBytes != 6 {
+		t.Fatalf("torn bytes %d, want 6", st.TornBytes)
+	}
+	// The file must be back to a clean frame boundary.
+	if got, err := os.ReadFile(seg); err != nil || int64(len(got)) != int64(len(data)) {
+		t.Fatalf("tail not truncated: %d bytes, want %d (err %v)", len(got), len(data), err)
+	}
+	// Appends after truncation replay correctly.
+	lifecycle(t, j2, "a-2", "key2", []byte(`{"ok":2}`))
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := j3.Recovered(); len(rec) != 2 {
+		t.Fatalf("post-truncate append lost: %+v", rec)
+	}
+	if err := j3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A corrupted record (CRC mismatch) mid-segment cuts replay at that point:
+// the bad record and everything after it in that segment are dropped, so a
+// job whose done event got corrupted comes back as interrupted — it will
+// re-run rather than serve corrupt bytes.
+func TestCorruptRecordCutsReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifecycle(t, j, "a-1", "key1", []byte(`{"big":"result-payload-to-corrupt"}`))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "00000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the final (done) record's payload.
+	data[len(data)-2] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rec := j2.Recovered()
+	if len(rec) != 1 || rec[0].Status != StatusRunning || !rec[0].Interrupted() {
+		t.Fatalf("corrupted done event should leave the job interrupted, got %+v", rec)
+	}
+}
+
+// A crash between appending the done event and acknowledging it makes the
+// server re-append it; replay must treat the duplicate as idempotent and
+// keep the first terminal record.
+func TestDuplicateDoneIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifecycle(t, j, "a-1", "key1", []byte(`{"first":true}`))
+	// Crash-during-ack replays: a second done with different bytes, then
+	// a contradictory failed event.
+	if err := j.Append(Event{Kind: KindDone, JobID: "a-1", Key: "key1", Result: []byte(`{"second":true}`), Outcome: "hit"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Event{Kind: KindFailed, JobID: "a-1", Error: []byte(`{"message":"late"}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rec := j2.Recovered()
+	if len(rec) != 1 {
+		t.Fatalf("duplicate done created extra jobs: %+v", rec)
+	}
+	st := rec[0]
+	if st.Status != StatusDone || !bytes.Equal(st.Result, []byte(`{"first":true}`)) || st.Outcome != "miss" {
+		t.Fatalf("first terminal record must win: %+v", st)
+	}
+}
+
+// Rotation plus compaction: finished jobs beyond the retention cap are
+// dropped, interrupted jobs always survive, and the segment count stays
+// bounded no matter how many events flow through.
+func TestRotationCompactsAndRetains(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One interrupted job up front; it must survive every compaction.
+	if err := j.Append(Event{Kind: KindAccepted, JobID: "keep-0", Key: "k0", Request: []byte(`{"req":"keep"}`)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("job-%03d", i)
+		lifecycle(t, j, id, "key-"+id, bytes.Repeat([]byte("x"), 64))
+	}
+	st := j.Stats()
+	if st.Rotations == 0 || st.Compactions == 0 {
+		t.Fatalf("expected rotation+compaction with 1KiB segments: %+v", st)
+	}
+	if st.Segments > 2 {
+		t.Fatalf("segment count unbounded: %+v", st)
+	}
+	if st.DroppedJobs == 0 {
+		t.Fatalf("retention never dropped a finished job: %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rec := j2.Recovered()
+	byID := map[string]JobState{}
+	for _, s := range rec {
+		byID[s.ID] = s
+	}
+	if kept, ok := byID["keep-0"]; !ok || !kept.Interrupted() {
+		t.Fatalf("interrupted job dropped by compaction: %+v", rec)
+	}
+	// The newest finished job is always within the retention window.
+	if newest, ok := byID["job-039"]; !ok || newest.Status != StatusDone {
+		t.Fatalf("newest finished job lost: %+v", byID)
+	}
+	if len(rec) > 2+opts.RetainFinished+10 {
+		t.Fatalf("recovered %d jobs; retention is not bounding the log", len(rec))
+	}
+}
+
+// Append on a closed journal must fail loudly, not silently drop events.
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, err := Open(t.TempDir(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Event{Kind: KindAccepted, JobID: "x"}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+// The fsync histogram observes once per durable append.
+func TestFsyncHistogramCounts(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{SegmentBytes: 1 << 20, RetainFinished: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	lifecycle(t, j, "a-1", "k", []byte(`{}`))
+	if st := j.Stats(); st.FsyncNS.Count != 3 || st.Appends != 3 {
+		t.Fatalf("fsync count %d appends %d, want 3/3", st.FsyncNS.Count, st.Appends)
+	}
+}

@@ -115,6 +115,10 @@ func TestGoldenDetRand(t *testing.T) {
 	runGolden(t, "detrand", "repro/internal/qc/drtest")
 }
 
+func TestGoldenCtxSleep(t *testing.T) {
+	runGolden(t, "ctxsleep", "repro/internal/cstest")
+}
+
 func TestGoldenGeomBounds(t *testing.T) {
 	runGolden(t, "geombounds", "repro/internal/gbtest")
 }

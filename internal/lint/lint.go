@@ -118,7 +118,7 @@ func (p *Pass) SourceFiles() []*ast.File {
 // here runs in `make lint`, in the tqeclint CLI default set, and in the
 // self-check test that keeps CI and the CLI in lockstep.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoPanic, CtxFlow, ErrDiscard, DetRand, GeomBounds, DocComment}
+	return []*Analyzer{NoPanic, CtxFlow, ErrDiscard, DetRand, CtxSleep, GeomBounds, DocComment}
 }
 
 // ByName returns the registered analyzer with the given name, or nil.

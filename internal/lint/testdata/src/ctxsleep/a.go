@@ -1,0 +1,78 @@
+// Package cspkg is the tqeclint golden fixture for the ctxsleep analyzer:
+// no context-blind time.Sleep retry loops in library code.
+package cspkg
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+func attempt() error { return errors.New("transient") }
+
+// retryLoop is the classic violation: a backoff that keeps sleeping after
+// the caller gave up.
+func retryLoop() error {
+	var err error
+	for i := 0; i < 3; i++ {
+		if err = attempt(); err == nil {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond) // want `time.Sleep in a loop is context-blind`
+	}
+	return err
+}
+
+// pollLoop violates through a range statement just the same.
+func pollLoop(steps []int) {
+	for range steps {
+		time.Sleep(time.Millisecond) // want `time.Sleep in a loop is context-blind`
+	}
+}
+
+// nestedLoop must be reported exactly once, from the inner loop.
+func nestedLoop() {
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			time.Sleep(time.Millisecond) // want `time.Sleep in a loop is context-blind`
+		}
+	}
+}
+
+// oneShot is merely discouraged, not flagged: there is no loop to escape.
+func oneShot() {
+	time.Sleep(time.Millisecond)
+}
+
+// spawned sleeps inside a closure the loop only constructs; the closure
+// runs on its own schedule, so the loop itself is not a sleep-retry loop.
+func spawned(work chan<- func()) {
+	for i := 0; i < 2; i++ {
+		work <- func() { time.Sleep(time.Millisecond) }
+	}
+}
+
+// ctxAware is the sanctioned shape: a timer raced against ctx.Done().
+func ctxAware(ctx context.Context) error {
+	for i := 0; i < 3; i++ {
+		if err := attempt(); err == nil {
+			return nil
+		}
+		t := time.NewTimer(10 * time.Millisecond)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	return errors.New("exhausted")
+}
+
+// suppressed documents a reviewed exception.
+func suppressed() {
+	for i := 0; i < 2; i++ {
+		//lint:ignore ctxsleep fixture: sanctioned wall-clock pacing loop
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/qc"
+	"repro/internal/resilience"
 	"repro/tqec"
 )
 
@@ -48,22 +49,41 @@ type CompileOptions struct {
 	// TimeoutMS bounds this compilation in milliseconds (0 = the
 	// server's default; values above the server's maximum are clamped).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// FaultAttempts injects that many transient faults before the compile
+	// is allowed to succeed — the chaos harness's hook for exercising the
+	// retry path end to end. Rejected unless the server was configured
+	// with AllowFaultInjection. It is deliberately excluded from the
+	// content address: a faulted request retried to success must yield
+	// byte-identical payloads to its unfaulted twin.
+	FaultAttempts int `json:"fault_attempts,omitempty"`
 }
 
 // compileTask is a parsed, validated compile request ready for the worker
-// pool: the circuit, the full pipeline options, the content address, and
-// the effective deadline.
+// pool: the circuit, the full pipeline options, the content address, the
+// effective deadline, and the number of injected transient faults.
 type compileTask struct {
-	circuit *qc.Circuit
-	opts    tqec.Options
-	key     string
-	timeout time.Duration
+	circuit       *qc.Circuit
+	opts          tqec.Options
+	key           string
+	timeout       time.Duration
+	faultAttempts int
+}
+
+// parseLimits bundles the server-side request validation knobs so the
+// parser's signature survives growing new ones.
+type parseLimits struct {
+	// defaultTimeout applies when the request sets no timeout_ms.
+	defaultTimeout time.Duration
+	// maxTimeout clamps request-supplied timeouts.
+	maxTimeout time.Duration
+	// allowFaults admits the fault_attempts chaos hook.
+	allowFaults bool
 }
 
 // parseCompileRequest decodes and validates a request body into a
 // compileTask, computing its content address. The returned *apiError is
 // ready to serve on failure.
-func parseCompileRequest(r io.Reader, defaultTimeout, maxTimeout time.Duration) (*compileTask, *apiError) {
+func parseCompileRequest(r io.Reader, lim parseLimits) (*compileTask, *apiError) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var req CompileRequest
@@ -75,11 +95,17 @@ func parseCompileRequest(r io.Reader, defaultTimeout, maxTimeout time.Duration) 
 	if dec.More() {
 		return nil, badRequest("invalid request body: trailing data after JSON object")
 	}
-	return buildCompileTask(&req, defaultTimeout, maxTimeout)
+	return buildCompileTask(&req, lim)
 }
 
 // buildCompileTask turns a decoded request into a runnable task.
-func buildCompileTask(req *CompileRequest, defaultTimeout, maxTimeout time.Duration) (*compileTask, *apiError) {
+func buildCompileTask(req *CompileRequest, lim parseLimits) (*compileTask, *apiError) {
+	if req.Options.FaultAttempts < 0 {
+		return nil, badRequest("fault_attempts must be non-negative")
+	}
+	if req.Options.FaultAttempts > 0 && !lim.allowFaults {
+		return nil, badRequest("fault_attempts requires a server started with fault injection enabled")
+	}
 	circuit, aerr := loadCircuit(req)
 	if aerr != nil {
 		return nil, aerr
@@ -89,14 +115,15 @@ func buildCompileTask(req *CompileRequest, defaultTimeout, maxTimeout time.Durat
 	if err != nil {
 		return nil, badRequest(fmt.Sprintf("circuit rejected: %v", err))
 	}
-	timeout := defaultTimeout
+	timeout := lim.defaultTimeout
 	if req.Options.TimeoutMS > 0 {
 		timeout = time.Duration(req.Options.TimeoutMS) * time.Millisecond
 	}
-	if maxTimeout > 0 && (timeout <= 0 || timeout > maxTimeout) {
-		timeout = maxTimeout
+	if lim.maxTimeout > 0 && (timeout <= 0 || timeout > lim.maxTimeout) {
+		timeout = lim.maxTimeout
 	}
-	return &compileTask{circuit: circuit, opts: opts, key: key, timeout: timeout}, nil
+	return &compileTask{circuit: circuit, opts: opts, key: key, timeout: timeout,
+		faultAttempts: req.Options.FaultAttempts}, nil
 }
 
 // loadCircuit resolves the request's circuit source.
@@ -333,10 +360,12 @@ type ErrorResponse struct {
 	Error ErrorBody `json:"error"`
 }
 
-// apiError pairs an HTTP status with its wire body.
+// apiError pairs an HTTP status with its wire body and an optional
+// Retry-After hint for backpressure responses.
 type apiError struct {
-	Status int
-	Body   ErrorBody
+	Status     int
+	Body       ErrorBody
+	RetryAfter time.Duration
 }
 
 // badRequest is a 400 with a bare message.
@@ -365,6 +394,14 @@ func compileError(err error) *apiError {
 		ae.Status = 429
 	case errors.Is(err, errDraining):
 		ae.Status = 503
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		ae.Status = 503
+		ae.Body.Sentinel = "breaker_open"
+	case errors.Is(err, faults.ErrTransient):
+		// A transient fault that survived the retry budget: the client
+		// should try again shortly, not treat it as a hard failure.
+		ae.Status = 503
+		ae.Body.Sentinel = "transient"
 	case faults.IsCancellation(err):
 		ae.Status = 504
 		ae.Body.Sentinel = "canceled"

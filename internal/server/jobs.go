@@ -161,6 +161,28 @@ func (r *jobRegistry) add(key string) *job {
 	return j
 }
 
+// restore re-registers a journaled job under its original ID, so clients
+// polling across a crash keep their handle. Terminal jobs get their full
+// state back and a fresh retention clock (the TTL measures pollability,
+// which restarts with the process); interrupted jobs come back queued and
+// are re-enqueued by the caller. A duplicate ID returns the existing job
+// untouched: replay is idempotent.
+func (r *jobRegistry) restore(id, key string, status JobStatus, outcome ccache.Outcome, body []byte, aerr *apiError) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.jobs[id]; ok {
+		return j
+	}
+	j := &job{id: id, key: key, status: status, outcome: outcome, body: body, apiErr: aerr, now: r.now}
+	if status == JobDone || status == JobFailed {
+		j.finishedAt = r.now()
+	}
+	r.jobs[id] = j
+	r.order = append(r.order, id)
+	r.sweepLocked()
+	return j
+}
+
 // sweepLocked drops finished jobs past the TTL, then — if the registry
 // still exceeds its cap — the oldest finished jobs until it fits. Stale
 // order entries are skipped, not treated as evictions: the previous

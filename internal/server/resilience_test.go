@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestFaultInjectionGate rejects the chaos hook unless the server opted
+// in.
+func TestFaultInjectionGate(t *testing.T) {
+	s := startServer(t, testConfig())
+	body := compileBody(t, realSrc, "fig4", CompileOptions{Seed: 1, Iterations: 2000, FaultAttempts: 1})
+	if w := post(s, "/v1/compile", body); w.Code != 400 {
+		t.Fatalf("fault injection without opt-in: %d, want 400", w.Code)
+	}
+}
+
+// TestRetryRecoversInjectedTransients proves the compile path retries
+// through injected transient faults and still serves payloads
+// byte-identical to an unfaulted direct compile.
+func TestRetryRecoversInjectedTransients(t *testing.T) {
+	cfg := testConfig()
+	cfg.AllowFaultInjection = true
+	s := startServer(t, cfg)
+	o := CompileOptions{Seed: 4, Iterations: 2000, FaultAttempts: 2}
+	w := post(s, "/v1/compile", compileBody(t, realSrc, "fig4", o))
+	if w.Code != 200 {
+		t.Fatalf("faulted compile: %d %s", w.Code, w.Body)
+	}
+	direct := directBytes(t, realSrc, "fig4", CompileOptions{Seed: 4, Iterations: 2000})
+	if !bytes.Equal(w.Body.Bytes(), direct) {
+		t.Fatal("retried payload differs from the unfaulted direct compile")
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(get(s, "/v1/metrics").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Resilience.Retries != 2 || snap.Resilience.TransientFaults != 2 {
+		t.Fatalf("resilience counters %+v, want 2 retries / 2 injected faults", snap.Resilience)
+	}
+}
+
+// TestRetryBudgetExhaustion maps a transient that outlives every attempt
+// onto 503 + transient sentinel, not a hard 500.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	cfg := testConfig()
+	cfg.AllowFaultInjection = true
+	s := startServer(t, cfg)
+	o := CompileOptions{Seed: 5, Iterations: 2000, FaultAttempts: 10}
+	w := post(s, "/v1/compile", compileBody(t, realSrc, "fig4", o))
+	if w.Code != 503 {
+		t.Fatalf("exhausted retries: %d, want 503 (body %s)", w.Code, w.Body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Sentinel != "transient" {
+		t.Fatalf("error body %s", w.Body)
+	}
+}
+
+// TestBreakerOpensAndSheds trips the breaker with persistent transients,
+// then observes 503 breaker_open with a Retry-After hint, no compile run.
+func TestBreakerOpensAndSheds(t *testing.T) {
+	cfg := testConfig()
+	cfg.AllowFaultInjection = true
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Hour // stays open for the whole test
+	s := startServer(t, cfg)
+	for i := 0; i < 2; i++ {
+		o := CompileOptions{Seed: int64(400 + i), Iterations: 2000, FaultAttempts: 10}
+		if w := post(s, "/v1/compile", compileBody(t, realSrc, "fig4", o)); w.Code != 503 {
+			t.Fatalf("trip %d: %d", i, w.Code)
+		}
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(get(s, "/v1/metrics").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Resilience.BreakerState != "open" || snap.Resilience.BreakerTrips != 1 {
+		t.Fatalf("breaker %+v, want open after 1 trip", snap.Resilience)
+	}
+	compilesBefore := snap.Server.Compiles
+	w := post(s, "/v1/compile", compileBody(t, realSrc, "fig4", CompileOptions{Seed: 999, Iterations: 2000}))
+	if w.Code != 503 {
+		t.Fatalf("open breaker admitted a compile: %d", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("breaker rejection missing Retry-After")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Sentinel != "breaker_open" {
+		t.Fatalf("breaker error body %s", w.Body)
+	}
+	if err := json.Unmarshal(get(s, "/v1/metrics").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Server.Compiles != compilesBefore {
+		t.Fatal("shed request still reached the compiler")
+	}
+	// A cached key bypasses the breaker: hits consume no worker. (Nothing
+	// is cached here, so assert the uncached path stays shut instead.)
+	if w := post(s, "/v1/jobs", compileBody(t, realSrc2, "other", CompileOptions{Seed: 1})); w.Code != 503 {
+		t.Fatalf("open breaker admitted an async job: %d", w.Code)
+	}
+}
+
+// TestAdmissionControl drives the admission estimate directly: a loaded
+// queue plus a latency estimate far beyond the request deadline must
+// reject on arrival with 429 and Retry-After, and DisableAdmission must
+// let the same request through to ordinary queueing.
+func TestAdmissionControl(t *testing.T) {
+	s, err := New(testConfig()) // pool never started: queued tasks stay put
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pretend compiles take 10s and two are already waiting.
+	s.compileEWMA.Store(int64(10 * time.Second))
+	for i := 0; i < 2; i++ {
+		if err := s.pool.enqueue(&task{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body := compileBody(t, realSrc, "fig4", CompileOptions{Seed: 2, Iterations: 2000, TimeoutMS: 50})
+	w := post(s, "/v1/jobs", body)
+	if w.Code != 429 {
+		t.Fatalf("doomed request admitted: %d %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("admission rejection missing Retry-After")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Sentinel != "admission" {
+		t.Fatalf("admission error body %s", w.Body)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(get(s, "/v1/metrics").Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Resilience.AdmissionRejected != 1 {
+		t.Fatalf("admission_rejected = %d, want 1", snap.Resilience.AdmissionRejected)
+	}
+
+	// Same pressure, admission off: the request queues normally (202).
+	cfg := testConfig()
+	cfg.DisableAdmission = true
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.compileEWMA.Store(int64(10 * time.Second))
+	for i := 0; i < 2; i++ {
+		if err := s2.pool.enqueue(&task{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w := post(s2, "/v1/jobs", body); w.Code != 202 {
+		t.Fatalf("disabled admission still rejected: %d %s", w.Code, w.Body)
+	}
+}

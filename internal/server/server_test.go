@@ -339,6 +339,7 @@ func TestMetricsJSONGolden(t *testing.T) {
 		`"queue":{"depth":0,"capacity":8,"workers":2,"busy":0},` +
 		`"jobs":{"submitted":0,"queued":0,"running":0,"done":0,"failed":0,"evicted":0},` +
 		`"cache":{"hits":0,"misses":0,"shared":0,"evictions":0,"uncacheable":0,"entries":0,"bytes":0,"max_bytes":1024},` +
+		`"resilience":{"retries":0,"transient_faults":0,"breaker_state":"closed","breaker_trips":0,"admission_rejected":0,"compile_ewma_ns":0},` +
 		`"latency_ns":{` +
 		`"compile":{"count":0,"sum_ns":0,"min_ns":0,"max_ns":0},` +
 		`"queue_wait":{"count":0,"sum_ns":0,"min_ns":0,"max_ns":0},` +
@@ -381,15 +382,15 @@ func TestMetricsCountTraffic(t *testing.T) {
 }
 
 func TestTimeoutClamping(t *testing.T) {
-	ct, aerr := buildCompileTask(&CompileRequest{Real: realSrc, Options: CompileOptions{TimeoutMS: 3600_000}},
-		time.Second, 2*time.Second)
+	lim := parseLimits{defaultTimeout: time.Second, maxTimeout: 2 * time.Second}
+	ct, aerr := buildCompileTask(&CompileRequest{Real: realSrc, Options: CompileOptions{TimeoutMS: 3600_000}}, lim)
 	if aerr != nil {
 		t.Fatalf("buildCompileTask: %+v", aerr)
 	}
 	if ct.timeout != 2*time.Second {
 		t.Fatalf("timeout %v, want clamped to 2s", ct.timeout)
 	}
-	ct, aerr = buildCompileTask(&CompileRequest{Real: realSrc}, time.Second, 2*time.Second)
+	ct, aerr = buildCompileTask(&CompileRequest{Real: realSrc}, lim)
 	if aerr != nil {
 		t.Fatalf("buildCompileTask: %+v", aerr)
 	}
@@ -417,7 +418,8 @@ func FuzzParseCompileRequest(f *testing.F) {
 	f.Add([]byte(`{`))
 	f.Add([]byte(`{"bench":"x","real":"y"}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		ct, aerr := parseCompileRequest(bytes.NewReader(data), time.Second, time.Minute)
+		ct, aerr := parseCompileRequest(bytes.NewReader(data),
+			parseLimits{defaultTimeout: time.Second, maxTimeout: time.Minute, allowFaults: true})
 		if (ct == nil) == (aerr == nil) {
 			t.Fatalf("exactly one of task/error must be set: %v %v", ct, aerr)
 		}
