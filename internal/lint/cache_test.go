@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeTempModule lays out a two-package module (b imports a) and returns
+// its root. The deliberate panic in b is the finding whose replay the
+// cache tests observe.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": `// Package a is the dependency half of the cache fixture.
+package a
+
+// V is a deterministic value.
+func V() int { return 1 }
+`,
+		"b/b.go": `// Package b imports a and carries one deliberate finding.
+package b
+
+import "tmpmod/a"
+
+// W wraps a.V.
+func W() int { return a.V() }
+
+// Boom trips the nopanic analyzer.
+func Boom() {
+	panic("deliberate")
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// chdir switches into dir for the duration of the test; the source
+// importer resolves module-internal imports relative to the process
+// working directory.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Fatalf("restoring working directory: %v", err)
+		}
+	})
+}
+
+// TestIncrementalCache drives the facts cache through its three regimes:
+// cold (everything analyzed, entries written), fully warm (findings
+// replayed with no analysis), and invalidation (editing a dependency
+// re-analyzes its importer chain; editing a leaf leaves the dependency
+// warm).
+func TestIncrementalCache(t *testing.T) {
+	root := writeTempModule(t)
+	chdir(t, root)
+	factsDir := filepath.Join(root, ".cache", "lint")
+
+	cold, coldStats, err := RunIncremental(".", factsDir, nil, Analyzers())
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if coldStats.Packages != 2 || coldStats.CachedPackages != 0 {
+		t.Fatalf("cold run: packages=%d cached=%d, want 2/0", coldStats.Packages, coldStats.CachedPackages)
+	}
+	if len(cold) != 1 || cold[0].Analyzer != "nopanic" {
+		t.Fatalf("cold run findings = %v, want one nopanic finding", cold)
+	}
+
+	warm, warmStats, err := RunIncremental(".", factsDir, nil, Analyzers())
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if warmStats.CachedPackages != warmStats.Packages {
+		t.Fatalf("warm run: cached=%d of %d, want fully warm", warmStats.CachedPackages, warmStats.Packages)
+	}
+	if warmStats.FactsDuration != 0 {
+		t.Errorf("warm run computed facts (%v); the fully-warm path must not analyze", warmStats.FactsDuration)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("warm findings differ from cold:\ncold: %v\nwarm: %v", cold, warm)
+	}
+
+	// Editing the dependency invalidates both it and its importer.
+	appendFile(t, filepath.Join(root, "a", "a.go"), "\n// V2 is another value.\nfunc V2() int { return 2 }\n")
+	_, depStats, err := RunIncremental(".", factsDir, nil, Analyzers())
+	if err != nil {
+		t.Fatalf("post-dependency-edit run: %v", err)
+	}
+	if depStats.CachedPackages != 0 {
+		t.Errorf("dependency edit left %d package(s) warm, want 0", depStats.CachedPackages)
+	}
+
+	// Editing the leaf importer leaves the dependency warm.
+	appendFile(t, filepath.Join(root, "b", "b.go"), "\n// W2 wraps V2.\nfunc W2() int { return a.V2() }\n")
+	_, leafStats, err := RunIncremental(".", factsDir, nil, Analyzers())
+	if err != nil {
+		t.Fatalf("post-leaf-edit run: %v", err)
+	}
+	if leafStats.CachedPackages != 1 {
+		t.Errorf("leaf edit left %d package(s) warm, want 1 (the dependency)", leafStats.CachedPackages)
+	}
+}
+
+func appendFile(t *testing.T, path, content string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(content); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheCorruptEntryIsCold proves a truncated entry degrades to a cold
+// package instead of failing the run.
+func TestCacheCorruptEntryIsCold(t *testing.T) {
+	root := writeTempModule(t)
+	chdir(t, root)
+	factsDir := filepath.Join(root, ".cache", "lint")
+	if _, _, err := RunIncremental(".", factsDir, nil, Analyzers()); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(factsDir, cacheFileName("tmpmod/a")), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, stats, err := RunIncremental(".", factsDir, nil, Analyzers())
+	if err != nil {
+		t.Fatalf("run with corrupt entry: %v", err)
+	}
+	if stats.CachedPackages != 1 {
+		t.Errorf("corrupt entry: cached=%d, want 1 (only the intact package)", stats.CachedPackages)
+	}
+	if len(findings) != 1 {
+		t.Errorf("corrupt entry changed findings: %v", findings)
+	}
+}

@@ -37,6 +37,12 @@ var detRandDraws = map[string]bool{
 //   - A slice appended to inside a range-over-map loop must be sorted
 //     before the function ends (or the iteration rewritten over sorted
 //     keys): map iteration order is the classic silent nondeterminism.
+//
+// DetRand is the residual, control-flow side of determinism enforcement:
+// it bans the *act* of drawing nondeterministic state in the seeded
+// stages, where even a branch on a wall-clock read skews the output. The
+// dettaint analyzer covers the data side module-wide, following values
+// from sources to canonical-encoding sinks across package boundaries.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc:  "seeded stages (place/route/bridge/qc) draw no wall-clock time, no global rand, no map-order output",
@@ -83,7 +89,9 @@ func runDetRand(pass *Pass) {
 }
 
 // checkMapOrder flags slices that accumulate elements in map-iteration
-// order without a subsequent sort in the same function.
+// order without a subsequent sort in the same function. The mechanics
+// (rangeAppendTargets, sortedAfterStmt) live in taint.go, where the same
+// pattern also seeds the dettaint engine's map-order taint.
 func checkMapOrder(pass *Pass, fd *ast.FuncDecl) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		rs, ok := n.(*ast.RangeStmt)
@@ -97,82 +105,11 @@ func checkMapOrder(pass *Pass, fd *ast.FuncDecl) {
 		if _, isMap := t.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		for _, obj := range appendTargets(pass, rs) {
-			if !sortedAfter(pass, fd, rs, obj) {
+		for _, obj := range rangeAppendTargets(pass.Pkg, rs) {
+			if !sortedAfterStmt(pass.Pkg, fd, rs, obj) {
 				pass.Reportf(rs.Pos(), "slice %q accumulates map-iteration order: sort it before use or range over sorted keys", obj.Name())
 			}
 		}
 		return true
 	})
-}
-
-// appendTargets returns the objects of slices appended to inside the range
-// body that outlive the loop (declared outside it).
-func appendTargets(pass *Pass, rs *ast.RangeStmt) []types.Object {
-	seen := map[types.Object]bool{}
-	var out []types.Object
-	ast.Inspect(rs.Body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
-			return true
-		}
-		id, ok := as.Lhs[0].(*ast.Ident)
-		if !ok {
-			return true
-		}
-		call, ok := as.Rhs[0].(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		callee, ok := ast.Unparen(call.Fun).(*ast.Ident)
-		if !ok {
-			return true
-		}
-		if b, isBuiltin := pass.Pkg.Info.Uses[callee].(*types.Builtin); !isBuiltin || b.Name() != "append" {
-			return true
-		}
-		obj := pass.Pkg.Info.ObjectOf(id)
-		if obj == nil || seen[obj] {
-			return true
-		}
-		// A slice declared inside the loop body is rebuilt per iteration;
-		// its order does not leak out of the range statement.
-		if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
-			return true
-		}
-		seen[obj] = true
-		out = append(out, obj)
-		return true
-	})
-	return out
-}
-
-// detSortFuncs are calls accepted as establishing a deterministic order.
-var detSortFuncs = map[string]bool{
-	"sort.Ints": true, "sort.Strings": true, "sort.Float64s": true,
-	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
-	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
-}
-
-// sortedAfter reports whether obj is passed to a sort call after the range
-// statement, anywhere in the enclosing function.
-func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
-	found := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
-			return true
-		}
-		if !detSortFuncs[pkgFunc(calleeFunc(pass.Pkg.Info, call))] {
-			return true
-		}
-		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.Pkg.Info.ObjectOf(id) == obj {
-			found = true
-		}
-		return true
-	})
-	return found
 }

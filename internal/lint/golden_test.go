@@ -7,10 +7,11 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strings"
 	"testing"
 )
 
-// wantRe extracts the expectation from a trailing `// want `+"`regex`"+`` comment.
+// wantRe extracts the expectation from a trailing `// want `+"`regex`"+“ comment.
 var wantRe = regexp.MustCompile("// want `([^`]+)`")
 
 type want struct {
@@ -76,27 +77,7 @@ func runGolden(t *testing.T, analyzer, asPath string) {
 	}
 	wants := parseWants(t, dir)
 	findings := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
-	for _, f := range findings {
-		matched := false
-		for _, w := range wants {
-			if w.hit || filepath.Clean(w.file) != filepath.Clean(f.File) || w.line != f.Line {
-				continue
-			}
-			if w.re.MatchString(f.Message) {
-				w.hit = true
-				matched = true
-				break
-			}
-		}
-		if !matched {
-			t.Errorf("unexpected finding: %s", f)
-		}
-	}
-	for _, w := range wants {
-		if !w.hit {
-			t.Errorf("%s:%d: no finding matched want `%s`", w.file, w.line, w.re)
-		}
-	}
+	matchWants(t, findings, wants)
 }
 
 func TestGoldenNoPanic(t *testing.T) {
@@ -125,6 +106,143 @@ func TestGoldenGeomBounds(t *testing.T) {
 
 func TestGoldenDocComment(t *testing.T) {
 	runGolden(t, "doccomment", "repro/internal/dctest")
+}
+
+func TestGoldenGoLeak(t *testing.T) {
+	runGolden(t, "goleak", "repro/internal/gltest")
+}
+
+func TestGoldenLockCheck(t *testing.T) {
+	runGolden(t, "lockcheck", "repro/internal/lctest")
+}
+
+// TestGoldenDetTaint is the cross-package taint fixture: sources live in
+// testdata/src/dettaint/taintsrc, sinks in testdata/src/dettaint, and the
+// findings prove flows that crossed the package boundary through the
+// function-summary layer.
+func TestGoldenDetTaint(t *testing.T) {
+	srcDir := filepath.Join("testdata", "src", "dettaint", "taintsrc")
+	sinkDir := filepath.Join("testdata", "src", "dettaint")
+	pkgs, err := LoadDirs([]DirSpec{
+		{Dir: srcDir, AsPath: "repro/internal/dttest/taintsrc"},
+		{Dir: sinkDir, AsPath: "repro/internal/dttest"},
+	})
+	if err != nil {
+		t.Fatalf("load fixture packages: %v", err)
+	}
+	wants := append(parseWants(t, sinkDir), optionalWants(t, srcDir)...)
+	findings := RunAnalyzers(pkgs, []*Analyzer{ByName("dettaint")})
+	matchWants(t, findings, wants)
+}
+
+// optionalWants parses want comments from a directory that may have none
+// (the taint-source package is expected to be finding-free).
+func optionalWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatalf("glob %s: %v", dir, err)
+	}
+	var wants []*want
+	for _, path := range entries {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		for i, text := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+			}
+			wants = append(wants, &want{file: path, line: i + 1, re: re})
+		}
+	}
+	return wants
+}
+
+// matchWants checks findings against wants in both directions.
+func matchWants(t *testing.T, findings []Finding, wants []*want) {
+	t.Helper()
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.hit || filepath.Clean(w.file) != filepath.Clean(f.File) || w.line != f.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched want `%s`", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestSuppressionUnused checks that a directive whose analyzer no longer
+// fires on the covered line is itself reported, and that a directive
+// naming an unknown analyzer is too.
+func TestSuppressionUnused(t *testing.T) {
+	dir := t.TempDir()
+	src := `package audited
+
+// Clean is fine; the directive below it suppresses nothing.
+func Clean() int {
+	//lint:ignore nopanic this panic was removed two refactors ago
+	return 1
+}
+
+// Typo names an analyzer that does not exist.
+func Typo() int {
+	//lint:ignore nopanics reason with a typo in the analyzer name
+	return 2
+}
+
+// Live has a real violation; its directive is used, not reported.
+func Live() {
+	//lint:ignore nopanic exercised by the golden test
+	panic("suppressed")
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "repro/internal/audtest")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings := RunAnalyzers([]*Package{pkg}, []*Analyzer{ByName("nopanic")})
+	var unused, unknown, other []Finding
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "lint" && strings.Contains(f.Message, "unused //lint:ignore"):
+			unused = append(unused, f)
+		case f.Analyzer == "lint" && strings.Contains(f.Message, "unknown analyzer"):
+			unknown = append(unknown, f)
+		default:
+			other = append(other, f)
+		}
+	}
+	if len(unused) != 1 {
+		t.Errorf("want exactly one unused-directive finding, got %v", unused)
+	}
+	if len(unknown) != 1 {
+		t.Errorf("want exactly one unknown-analyzer finding, got %v", unknown)
+	}
+	if len(other) != 0 {
+		t.Errorf("unexpected findings: %v", other)
+	}
 }
 
 // TestSuppressionMalformed checks that a directive missing its reason is

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GoLeak enforces the repo's goroutine-lifecycle contract in library code:
+// every `go` statement must spawn work that is provably bounded by its
+// spawner — the goroutine selects on a context/done channel (cooperative
+// cancellation, PR 1's contract), is joined through a sync.WaitGroup whose
+// Add precedes the spawn and whose Wait the package performs, or signals a
+// channel the spawner receives from after the spawn. Anything else is a
+// potential leak: a goroutine that outlives its request, holds its
+// closure's memory, and under churn accumulates without bound.
+//
+// The proof is interprocedural where it needs to be: `go p.worker(ctx)` is
+// accepted because worker's summary fact says its body observes
+// ctx.Done(), and because the spawner's Add pairs with worker's deferred
+// Done through the WaitGroup's canonical ID. Main packages and tests are
+// exempt (a process's own lifetime bounds them).
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "library goroutines must be ctx/done-bounded, WaitGroup-joined, or channel-joined by their spawner",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	if pass.Pkg.IsMain() {
+		return
+	}
+	waits := packageWaitIDs(pass.Pkg)
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goroutineBounded(pass, fd, gs, waits) {
+					pass.Reportf(gs.Pos(), "goroutine is neither ctx/done-bounded, WaitGroup-joined (Add before spawn, Done inside, Wait in package), nor channel-joined by its spawner: it can leak")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// packageWaitIDs collects the canonical IDs of every WaitGroup the package
+// calls Wait on, anywhere (the join may live in a different method than
+// the spawn, like pool.start/pool.drain).
+func packageWaitIDs(pkg *Package) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Wait" || !isWaitGroup(pkg.Info.TypeOf(sel.X)) {
+				return true
+			}
+			if id := syncObjID(pkg, sel.X); id != "" {
+				out[id] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// goroutineBounded applies the three acceptance proofs to one go
+// statement.
+func goroutineBounded(pass *Pass, fd *ast.FuncDecl, gs *ast.GoStmt, waits map[string]bool) bool {
+	adds := wgAddIDsBefore(pass.Pkg, fd, gs.Pos())
+
+	// Spawned function literal: prove on the body directly.
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if ctxBoundedBody(pass.Pkg, lit.Body) {
+			return true
+		}
+		for _, done := range wgDoneIDs(pass.Pkg, lit.Body) {
+			if adds[done] && waits[done] {
+				return true
+			}
+		}
+		return channelJoined(pass.Pkg, fd, gs, lit.Body)
+	}
+
+	// Spawned named function or method: prove through its summary facts.
+	for _, id := range calleeIDsOf(pass, gs.Call) {
+		facts := pass.Facts.Get(id)
+		if facts == nil {
+			continue
+		}
+		if facts.CtxBounded {
+			return true
+		}
+		for _, done := range facts.WgDones {
+			if adds[done] && waits[done] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeIDsOf resolves the call's callees, CHA-expanded when the graph is
+// available.
+func calleeIDsOf(pass *Pass, call *ast.CallExpr) []FuncID {
+	if pass.Graph != nil {
+		return pass.Graph.CalleeIDs(pass.Pkg.Info, call)
+	}
+	if id := funcID(calleeFunc(pass.Pkg.Info, call)); id != "" {
+		return []FuncID{id}
+	}
+	return nil
+}
+
+// wgAddIDsBefore collects the WaitGroups Add()ed before pos in the
+// function — the half of the join contract the spawner holds.
+func wgAddIDsBefore(pkg *Package, fd *ast.FuncDecl, pos token.Pos) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" || !isWaitGroup(pkg.Info.TypeOf(sel.X)) {
+			return true
+		}
+		if id := syncObjID(pkg, sel.X); id != "" {
+			out[id] = true
+		}
+		return true
+	})
+	return out
+}
+
+// channelJoined proves the channel-handshake pattern: the goroutine's body
+// closes or sends on a channel object, and the spawning function receives
+// from that same object after the spawn (directly, in a select, or by
+// ranging it).
+func channelJoined(pkg *Package, fd *ast.FuncDecl, gs *ast.GoStmt, body *ast.BlockStmt) bool {
+	signaled := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if id := syncObjID(pkg, n.Chan); id != "" {
+				signaled[id] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if cid := syncObjID(pkg, n.Args[0]); cid != "" {
+					signaled[cid] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(signaled) == 0 {
+		return false
+	}
+	joined := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && n.Pos() > gs.End() {
+				if id := syncObjID(pkg, n.X); id != "" && signaled[id] {
+					joined = true
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Pos() > gs.End() {
+				if id := syncObjID(pkg, n.X); id != "" && signaled[id] {
+					joined = true
+				}
+			}
+		}
+		return true
+	})
+	return joined
+}

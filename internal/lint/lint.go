@@ -24,6 +24,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one analyzer report, addressable by file position.
@@ -69,6 +70,18 @@ func (p *Package) TestFile(f *ast.File) bool {
 	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
 }
 
+// ownsFile reports whether the named file is one of the package's parsed
+// sources — used to anchor module-wide findings (lock-order inversions) to
+// exactly one reporting package.
+func (p *Package) ownsFile(file string) bool {
+	for _, f := range p.Files {
+		if p.Fset.Position(f.Package).Filename == file {
+			return true
+		}
+	}
+	return false
+}
+
 // Analyzer is one named invariant check.
 type Analyzer struct {
 	// Name is the registry key, used in findings and ignore directives.
@@ -84,6 +97,14 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 
+	// Facts is the module-wide function-summary store (taint, panic,
+	// lock and goroutine-lifecycle facts), populated bottom-up before any
+	// analyzer runs. Nil-safe through its methods.
+	Facts *FactStore
+	// Graph is the CHA call graph over every loaded package, nil when the
+	// driver ran without one (single-fixture tests).
+	Graph *CallGraph
+
 	findings *[]Finding
 }
 
@@ -96,6 +117,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,
+	})
+}
+
+// reportAt records a finding at an explicit file:line — for checks whose
+// anchor position came from the fact layer (serialized positions) rather
+// than a live token.Pos.
+func (p *Pass) reportAt(file string, line int, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		File:     file,
+		Line:     line,
+		Col:      1,
 	})
 }
 
@@ -116,9 +150,12 @@ func (p *Pass) SourceFiles() []*ast.File {
 
 // Analyzers returns the full registry in reporting order. Every analyzer
 // here runs in `make lint`, in the tqeclint CLI default set, and in the
-// self-check test that keeps CI and the CLI in lockstep.
+// self-check test that keeps CI and the CLI in lockstep. The first seven
+// are per-package syntactic/typed checks; dettaint, goleak and lockcheck
+// are interprocedural, consuming the call graph and fact store the driver
+// builds before any analyzer runs.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoPanic, CtxFlow, ErrDiscard, DetRand, CtxSleep, GeomBounds, DocComment}
+	return []*Analyzer{NoPanic, CtxFlow, ErrDiscard, DetRand, DetTaint, GoLeak, LockCheck, CtxSleep, GeomBounds, DocComment}
 }
 
 // ByName returns the registered analyzer with the given name, or nil.
@@ -131,26 +168,99 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// RunAnalyzers applies the analyzers to every package, drops findings
-// covered by //lint:ignore directives, and returns the rest sorted by
-// position. Malformed directives surface as "lint" findings so a typo can
-// never silently disable a check.
+// AnalyzerStat aggregates one analyzer's work across a run.
+type AnalyzerStat struct {
+	Name     string        `json:"name"`
+	Findings int           `json:"findings"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// RunStats is the run's timing and cache breakdown, published by the CLI
+// to the CI job summary.
+type RunStats struct {
+	Packages       int            `json:"packages"`
+	CachedPackages int            `json:"cached_packages"`
+	Analyzers      []AnalyzerStat `json:"analyzers"`
+	FactsDuration  time.Duration  `json:"facts_duration_ns"`
+	TotalDuration  time.Duration  `json:"total_duration_ns"`
+}
+
+// RunAnalyzers builds the module-wide call graph and fact store, applies
+// the analyzers to every package, drops findings covered by //lint:ignore
+// directives, and returns the rest sorted by position. Malformed and
+// no-longer-matching directives surface as "lint" findings so neither a
+// typo nor a stale exemption can silently disable a check.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	findings, _ := RunAnalyzersStats(pkgs, analyzers)
+	return findings
+}
+
+// RunAnalyzersStats is RunAnalyzers plus per-analyzer timing.
+func RunAnalyzersStats(pkgs []*Package, analyzers []*Analyzer) ([]Finding, *RunStats) {
+	start := time.Now()
+	stats := &RunStats{Packages: len(pkgs)}
+	graph := BuildCallGraph(pkgs)
+	store := NewFactStore()
+	ComputeFacts(store, graph, pkgs)
+	stats.FactsDuration = time.Since(start)
+	all := analyzePackages(pkgs, analyzers, store, graph, stats)
+	sortFindings(all)
+	stats.TotalDuration = time.Since(start)
+	return all, stats
+}
+
+// analyzePackages runs the analyzers over pkgs against an already-built
+// fact store and call graph — the entry point the incremental driver uses
+// to re-analyze only stale packages while warm facts stand in for the
+// rest. Returned findings are unsorted.
+func analyzePackages(pkgs []*Package, analyzers []*Analyzer, store *FactStore, graph *CallGraph, stats *RunStats) []Finding {
+	runSet := map[string]bool{}
+	for _, a := range analyzers {
+		runSet[a.Name] = true
+	}
+	timing := map[string]*AnalyzerStat{}
+	if stats != nil {
+		for _, a := range analyzers {
+			st := &AnalyzerStat{Name: a.Name}
+			timing[a.Name] = st
+			stats.Analyzers = append(stats.Analyzers, AnalyzerStat{Name: a.Name})
+		}
+	}
 	var all []Finding
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg)
 		all = append(all, sup.malformed...)
 		var raw []Finding
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &raw}
+			began := time.Now()
+			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: store, Graph: graph, findings: &raw}
 			a.Run(pass)
+			if st := timing[a.Name]; st != nil {
+				st.Duration += time.Since(began)
+			}
 		}
 		for _, f := range raw {
 			if !sup.covers(f) {
 				all = append(all, f)
+				if st := timing[f.Analyzer]; st != nil {
+					st.Findings++
+				}
+			}
+		}
+		all = append(all, sup.audit(runSet)...)
+	}
+	if stats != nil {
+		for i := range stats.Analyzers {
+			if st := timing[stats.Analyzers[i].Name]; st != nil {
+				stats.Analyzers[i] = *st
 			}
 		}
 	}
+	return all
+}
+
+// sortFindings orders findings by file, line, column, analyzer.
+func sortFindings(all []Finding) {
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.File != b.File {
@@ -164,7 +274,6 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return all
 }
 
 // calleeFunc resolves the *types.Func a call invokes, or nil for builtins,

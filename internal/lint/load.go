@@ -20,6 +20,7 @@ type listedPackage struct {
 	Name       string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 }
 
 // goList enumerates the packages matched by patterns, from dir. The go
@@ -27,7 +28,7 @@ type listedPackage struct {
 // loader shells out to it for package discovery only; parsing and
 // typechecking stay in-process.
 func goList(dir string, patterns []string) ([]listedPackage, error) {
-	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles"}, patterns...)
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,Imports"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var out, stderr bytes.Buffer
@@ -94,6 +95,58 @@ func LoadDir(dir, asPath string) (*Package, error) {
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "source", nil)
 	return typecheck(fset, imp, asPath, dir, paths)
+}
+
+// DirSpec names one fixture directory and the synthetic import path to
+// typecheck it under.
+type DirSpec struct {
+	Dir    string
+	AsPath string
+}
+
+// overlayImporter resolves the synthetic import paths of already-loaded
+// fixture packages before falling back to the source importer, so one
+// fixture package can import another — the shape a cross-package taint
+// flow needs.
+type overlayImporter struct {
+	base types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (o *overlayImporter) Import(path string) (*types.Package, error) {
+	if p, ok := o.pkgs[path]; ok {
+		return p, nil
+	}
+	return o.base.Import(path)
+}
+
+// LoadDirs loads several fixture directories in order under their
+// synthetic import paths; later directories may import earlier ones. Real
+// module and standard-library imports still resolve from source.
+func LoadDirs(specs []DirSpec) ([]*Package, error) {
+	fset := token.NewFileSet()
+	imp := &overlayImporter{
+		base: importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+	}
+	var out []*Package
+	for _, spec := range specs {
+		paths, err := filepath.Glob(filepath.Join(spec.Dir, "*.go"))
+		if err != nil {
+			return nil, fmt.Errorf("lint: globbing %s: %w", spec.Dir, err)
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("lint: no Go files in %s", spec.Dir)
+		}
+		sort.Strings(paths)
+		pkg, err := typecheck(fset, imp, spec.AsPath, spec.Dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		imp.pkgs[spec.AsPath] = pkg.Types
+		out = append(out, pkg)
+	}
+	return out, nil
 }
 
 // typecheck parses the given files and typechecks them as one package.

@@ -10,6 +10,9 @@ func TestSelfCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("self-check typechecks the whole module; skipped in -short mode")
 	}
+	if n := len(Analyzers()); n != 10 {
+		t.Fatalf("analyzer registry has %d entries, want 10", n)
+	}
 	pkgs, err := LoadPackages("../..", "./...")
 	if err != nil {
 		t.Fatalf("loading module packages: %v", err)
@@ -17,7 +20,11 @@ func TestSelfCheck(t *testing.T) {
 	if len(pkgs) < 5 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	for _, f := range RunAnalyzers(pkgs, Analyzers()) {
+	findings, stats := RunAnalyzersStats(pkgs, Analyzers())
+	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+	if len(stats.Analyzers) != len(Analyzers()) {
+		t.Errorf("stats cover %d analyzers, want %d", len(stats.Analyzers), len(Analyzers()))
 	}
 }

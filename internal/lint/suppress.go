@@ -12,19 +12,34 @@ import (
 // for machine-read comments.
 const ignorePrefix = "//lint:ignore"
 
+// directive is one parsed //lint:ignore comment, tracked through the run
+// so suppressions that never match a finding can be audited: a directive
+// nothing fires under is a stale exemption hiding nothing, and deleting it
+// re-arms the check it names.
+type directive struct {
+	file      string
+	line, col int
+	analyzers []string
+	used      map[string]bool
+}
+
 // suppressionSet indexes the ignore directives of one package. A directive
 // suppresses matching findings on its own line (trailing-comment form) and
 // on the line directly below it (preceding-comment form).
 type suppressionSet struct {
-	// byFile maps filename -> line -> the analyzers ignored on that line.
-	byFile map[string]map[int]map[string]bool
+	// byFile maps filename -> line -> analyzer -> the directives covering
+	// that (line, analyzer).
+	byFile map[string]map[int]map[string][]*directive
+	// directives holds every well-formed directive in source order for the
+	// post-run audit.
+	directives []*directive
 	// malformed collects directives missing an analyzer or a reason,
 	// reported under the pseudo-analyzer "lint".
 	malformed []Finding
 }
 
 func collectSuppressions(pkg *Package) *suppressionSet {
-	s := &suppressionSet{byFile: map[string]map[int]map[string]bool{}}
+	s := &suppressionSet{byFile: map[string]map[int]map[string][]*directive{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -43,19 +58,27 @@ func collectSuppressions(pkg *Package) *suppressionSet {
 					})
 					continue
 				}
+				d := &directive{
+					file:      pos.Filename,
+					line:      pos.Line,
+					col:       pos.Column,
+					analyzers: strings.Split(fields[0], ","),
+					used:      map[string]bool{},
+				}
+				s.directives = append(s.directives, d)
 				lines := s.byFile[pos.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
+					lines = map[int]map[string][]*directive{}
 					s.byFile[pos.Filename] = lines
 				}
-				for _, name := range strings.Split(fields[0], ",") {
+				for _, name := range d.analyzers {
 					for _, line := range []int{pos.Line, pos.Line + 1} {
 						set := lines[line]
 						if set == nil {
-							set = map[string]bool{}
+							set = map[string][]*directive{}
 							lines[line] = set
 						}
-						set[name] = true
+						set[name] = append(set[name], d)
 					}
 				}
 			}
@@ -64,7 +87,37 @@ func collectSuppressions(pkg *Package) *suppressionSet {
 	return s
 }
 
-// covers reports whether a directive suppresses the finding.
+// covers reports whether a directive suppresses the finding, marking the
+// matching directives as used for the audit.
 func (s *suppressionSet) covers(f Finding) bool {
-	return s.byFile[f.File][f.Line][f.Analyzer]
+	ds := s.byFile[f.File][f.Line][f.Analyzer]
+	for _, d := range ds {
+		d.used[f.Analyzer] = true
+	}
+	return len(ds) > 0
+}
+
+// audit reports directives that did nothing this run: names that are not
+// registered analyzers (a typo silently disabling nothing), and names that
+// are in the run set but matched no finding (the suppressed violation is
+// gone — delete the directive and re-arm the check). Names of registered
+// analyzers outside the run set are left alone: a partial run cannot know
+// whether they would fire.
+func (s *suppressionSet) audit(runSet map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range s.directives {
+		for _, name := range d.analyzers {
+			f := Finding{Analyzer: "lint", File: d.file, Line: d.line, Col: d.col}
+			switch {
+			case name != "lint" && ByName(name) == nil:
+				f.Message = "//lint:ignore names unknown analyzer " + name + ": it suppresses nothing"
+			case runSet[name] && !d.used[name]:
+				f.Message = "unused //lint:ignore " + name + ": no finding fires here anymore; delete the directive to re-arm the check"
+			default:
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	return out
 }

@@ -1,0 +1,74 @@
+// Package dtsink is the sink half of the cross-package dettaint fixture:
+// every tainted value here was produced in the sibling taintsrc package,
+// so each finding proves a flow that crossed a package boundary through
+// the function-summary layer.
+package dtsink
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/dttest/taintsrc"
+	"repro/internal/qc"
+	"repro/tqec"
+)
+
+// direct consumes a tainted result from another package.
+func direct() tqec.Result {
+	var r tqec.Result
+	r.Volume = taintsrc.Stamp() // want `wall-clock time\.Now \(via taintsrc\.Stamp\).* reaches tqec\.Result\.Volume`
+	return r
+}
+
+// viaParamFlow threads the taint through a pass-through helper before it
+// lands in a composite literal.
+func viaParamFlow() tqec.Result {
+	v := taintsrc.Echo(taintsrc.Stamp())
+	return tqec.Result{PlacementAttempts: v} // want `reaches tqec\.Result\.PlacementAttempts`
+}
+
+// cacheKey taints the options struct and feeds it to the content-address
+// sink.
+func cacheKey(c *qc.Circuit) (string, error) {
+	opts := tqec.Options{}
+	opts.MaxGroupSize = taintsrc.Stamp() % 4
+	return tqec.CacheKey(c, opts) // want `reaches tqec\.CacheKey content address`
+}
+
+// mapOrder lets map-iteration order reach a Result field.
+func mapOrder(m map[string]int) tqec.Result {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	var r tqec.Result
+	r.Degraded = names[0] == "x" // want `map-iteration order.* reaches tqec\.Result\.Degraded`
+	return r
+}
+
+// mapOrderSorted is the fixed twin of mapOrder: sorting launders the
+// order-dependence, so no finding.
+func mapOrderSorted(m map[string]int) tqec.Result {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var r tqec.Result
+	r.Degraded = names[0] == "x"
+	return r
+}
+
+// breakdownOK writes wall-clock durations into Result.Breakdown — the one
+// exempt field, diagnostics by design — so no finding.
+func breakdownOK(r *tqec.Result, start time.Time) tqec.Result {
+	r.Breakdown.Add("stage", time.Since(start))
+	return tqec.Result{Volume: 7}
+}
+
+// cleanFlow consumes a deterministic cross-package helper; no finding.
+func cleanFlow() tqec.Result {
+	var r tqec.Result
+	r.Volume = taintsrc.Echo(taintsrc.Clean())
+	return r
+}

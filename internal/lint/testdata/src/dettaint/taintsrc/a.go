@@ -1,0 +1,31 @@
+// Package taintsrc is the source half of the cross-package dettaint
+// fixture: helpers here derive values from nondeterministic state, and the
+// sink package (the fixture root) consumes them. Nothing in this package
+// is a finding — the taint only becomes one when it reaches a sink.
+package taintsrc
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stamp returns a wall-clock-derived integer. Its summary records result 0
+// as tainted, so callers in other packages inherit the taint.
+func Stamp() int {
+	return int(time.Now().UnixNano())
+}
+
+// Label launders nothing: formatting a tainted value keeps it tainted.
+func Label() string {
+	return fmt.Sprintf("run-%d", Stamp())
+}
+
+// Echo flows its parameter to its result, so taint passes through it.
+func Echo(v int) int {
+	return v + 1
+}
+
+// Clean is genuinely deterministic; calling it must not create findings.
+func Clean() int {
+	return 42
+}

@@ -1,0 +1,95 @@
+// Package gltest exercises the goleak analyzer: every `go` statement in
+// library code must be provably bounded — ctx/done-select, WaitGroup join,
+// or channel join — and anything unprovable is a finding.
+package gltest
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	wg   sync.WaitGroup
+	jobs chan int
+}
+
+// worker is ctx-bounded through its own body; spawners of it are accepted
+// via its summary fact, not its call site.
+func (p *pool) worker(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-p.jobs:
+			_ = j
+		}
+	}
+}
+
+// spin loops forever with no cancellation path.
+func spin() {
+	for {
+	}
+}
+
+func (p *pool) start(ctx context.Context) {
+	go p.worker(ctx) // ok: callee's summary says it observes ctx.Done
+
+	go func() { // ok: body selects on ctx.Done
+		select {
+		case <-ctx.Done():
+		case j := <-p.jobs:
+			_ = j
+		}
+	}()
+
+	go spin() // want `goroutine is neither ctx/done-bounded`
+
+	go func() { // want `goroutine is neither ctx/done-bounded`
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// drainJobs ranges a channel: bounded by the sender closing it, which is
+// the accepted producer/consumer shape.
+func (p *pool) drainJobs() {
+	go func() { // ok: range over a channel ends when it closes
+		for j := range p.jobs {
+			_ = j
+		}
+	}()
+}
+
+// joined spawns with the full WaitGroup contract: Add before the spawn,
+// Done inside, Wait in the package.
+func (p *pool) joined() {
+	p.wg.Add(1)
+	go func() { // ok: WaitGroup-joined (Wait lives in drain)
+		defer p.wg.Done()
+	}()
+}
+
+func (p *pool) drain() {
+	p.wg.Wait()
+}
+
+// handshake uses the channel-join proof: the body closes the channel, the
+// spawner blocks on it after the spawn.
+func handshake() {
+	done := make(chan struct{})
+	go func() { // ok: channel-joined
+		close(done)
+	}()
+	<-done
+}
+
+// fireAndForget has a Done but no Add before the spawn and no Wait pairing;
+// the join cannot be proven.
+func fireAndForget(wg *sync.WaitGroup) {
+	go func() { // want `goroutine is neither ctx/done-bounded`
+		wg.Done()
+	}()
+}

@@ -1,0 +1,91 @@
+// Package lctest exercises the lockcheck analyzer: value copies of
+// mutex-bearing structs, Locks not released on every path, panic-capable
+// calls inside non-deferred critical sections, and inverted acquisition
+// orders.
+package lctest
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type twin struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// get copies the receiver — and with it the mutex.
+func (c counter) get() int { // want `copies its receiver's mutex`
+	return c.n
+}
+
+// inc locks through a pointer receiver: fine.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// snapshot takes a mutex-bearing struct by value.
+func snapshot(c counter) int { // want `copies a mutex-containing struct by value`
+	return c.n
+}
+
+// leaky releases only on one branch.
+func leaky(c *counter, early bool) int {
+	c.mu.Lock() // want `Lock is not released on every path`
+	if early {
+		return 0
+	}
+	c.mu.Unlock()
+	return c.n
+}
+
+// balanced releases on both branches: fine.
+func balanced(c *counter, early bool) int {
+	c.mu.Lock()
+	if early {
+		c.mu.Unlock()
+		return 0
+	}
+	c.mu.Unlock()
+	return c.n
+}
+
+// boom panics; its summary marks it MayPanic for callers.
+func boom() {
+	panic("boom")
+}
+
+// riskySection calls a panic-capable function between Lock and a
+// non-deferred Unlock: a panic there leaks the lock.
+func riskySection(c *counter) {
+	c.mu.Lock()
+	boom() // want `call can panic while a mutex is held without a deferred Unlock`
+	c.mu.Unlock()
+}
+
+// deferredSection survives the same panic because the Unlock is deferred.
+func deferredSection(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	boom()
+}
+
+// lockAB and lockBA acquire the twin mutexes in opposite orders; run
+// concurrently they deadlock, so both sites are findings.
+func lockAB(t *twin) {
+	t.a.Lock()
+	t.b.Lock() // want `lock order inversion`
+	t.b.Unlock()
+	t.a.Unlock()
+}
+
+func lockBA(t *twin) {
+	t.b.Lock()
+	t.a.Lock() // want `lock order inversion`
+	t.a.Unlock()
+	t.b.Unlock()
+}
