@@ -7,7 +7,7 @@
 //	tqecbench [-table N | -fig name | -all] [-benchmarks a,b,c] [-full]
 //	          [-iters N] [-seed S] [-no-ablations] [-timeout 10m]
 //	tqecbench -bench-out BENCH_<name>.json [-bench-iters N] [-bench-kernels]
-//	tqecbench -compare old.json new.json [-threshold 0.10]
+//	tqecbench -compare old.json new.json [-threshold 0.10] [-summary FILE]
 //
 // Tables: 1 (benchmark statistics), 2 (space-time volumes vs canonical and
 // [22]), 3 (conference-version ablation), 4 (dimensions), 5 (bridging
@@ -18,7 +18,9 @@
 // pipeline, records per-stage wall time, allocation deltas and compression
 // metrics, and writes a schema-versioned JSON artifact (see BENCHMARKS.md).
 // -compare judges a new artifact against an old one and exits non-zero
-// when any time metric regressed by more than -threshold.
+// when any time metric regressed by more than -threshold; -summary
+// additionally appends a markdown delta table (routing rows first) to the
+// given file, which CI points at $GITHUB_STEP_SUMMARY.
 //
 // The default benchmark set holds the two smallest circuits; -full runs
 // all eight (the paper spends over an hour of workstation time there).
@@ -53,10 +55,11 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json artifacts (old new); exit non-zero on regression")
 	compareWarn := flag.Bool("compare-warn", false, "with -compare, report regressions but exit zero (informational CI step)")
 	threshold := flag.Float64("threshold", bench.DefaultThreshold, "relative slowdown treated as a regression by -compare")
+	summary := flag.String("summary", "", "with -compare, append a markdown delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 
 	if *compare {
-		if err := runCompare(flag.Args(), *threshold, *compareWarn); err != nil {
+		if err := runCompare(flag.Args(), *threshold, *compareWarn, *summary); err != nil {
 			fatal(err)
 		}
 		return
@@ -201,7 +204,9 @@ func runBench(out, benchmarks string, full bool, iters int, seed int64, kernels 
 // unless warnOnly downgrades regressions to a printed warning —
 // CI compares freshly measured numbers on shared runners against the
 // committed workstation artifact, where absolute timings are advisory.
-func runCompare(args []string, threshold float64, warnOnly bool) error {
+// A non-empty summaryPath additionally gets a markdown delta table
+// appended (the Actions step-summary format).
+func runCompare(args []string, threshold float64, warnOnly bool, summaryPath string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("-compare needs exactly two arguments: old.json new.json")
 	}
@@ -216,6 +221,11 @@ func runCompare(args []string, threshold float64, warnOnly bool) error {
 	rep, err := bench.Compare(old, cur, threshold)
 	if err != nil {
 		return err
+	}
+	if summaryPath != "" {
+		if err := writeSummary(summaryPath, args[0], args[1], rep); err != nil {
+			return err
+		}
 	}
 	for _, d := range rep.Deltas {
 		mark := " "
@@ -238,6 +248,46 @@ func runCompare(args []string, threshold float64, warnOnly bool) error {
 	}
 	fmt.Printf("no regressions beyond %.0f%% across %d metric(s)\n", rep.Threshold*100, len(rep.Deltas))
 	return nil
+}
+
+// writeSummary appends a GitHub-flavored markdown table of the compared
+// metrics to path, putting the routing rows (the stage the committed
+// artifact shows dominating compile time) first so a routing regression
+// is visible at the top of the step summary without expanding logs.
+func writeSummary(path, oldName, newName string, rep *bench.Report) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Bench compare: `%s` vs `%s` (threshold %.0f%%)\n\n",
+		filepath.Base(oldName), filepath.Base(newName), rep.Threshold*100)
+	b.WriteString("| Metric | Old | New | Delta | |\n|---|---:|---:|---:|---|\n")
+	row := func(d bench.Delta) {
+		mark := ""
+		if d.Regression {
+			mark = "⚠️ regression"
+		}
+		fmt.Fprintf(&b, "| %s | %.2fms | %.2fms | %+.1f%% | %s |\n",
+			d.Metric, float64(d.Old)/1e6, float64(d.New)/1e6, (d.Ratio-1)*100, mark)
+	}
+	for _, d := range rep.Deltas {
+		if strings.Contains(d.Metric, "routing") {
+			row(d)
+		}
+	}
+	for _, d := range rep.Deltas {
+		if !strings.Contains(d.Metric, "routing") {
+			row(d)
+		}
+	}
+	for _, m := range rep.Missing {
+		fmt.Fprintf(&b, "| %s | — | missing | | |\n", m)
+	}
+	b.WriteString("\n")
+	_, err = f.WriteString(b.String())
+	return err
 }
 
 func fatal(err error) {

@@ -227,6 +227,24 @@ func runCircuit(ctx context.Context, name string, opts Options, compile func(con
 				stageTimes[stage] = append(stageTimes[stage], res.Breakdown.Get(stage))
 			}
 		}
+		if res.Routing != nil {
+			// Router-internal sub-stage attribution (route.RoutingStats,
+			// measured by the clock the pipeline injects). The rows nest
+			// under the "routing" stage and never exceed it.
+			for _, sub := range []struct {
+				name string
+				d    time.Duration
+			}{
+				{"routing/search", res.Routing.Stats.Search},
+				{"routing/commit", res.Routing.Stats.Commit},
+				{"routing/ripup", res.Routing.Stats.RipUp},
+			} {
+				if _, seen := stageTimes[sub.name]; !seen {
+					stageOrder = append(stageOrder, sub.name)
+				}
+				stageTimes[sub.name] = append(stageTimes[sub.name], sub.d)
+			}
+		}
 		// The compression metrics are deterministic for a fixed seed;
 		// the last iteration's values stand for all of them.
 		c.Volume = res.Volume
@@ -235,7 +253,13 @@ func runCircuit(ctx context.Context, name string, opts Options, compile func(con
 	}
 	c.Total = newStat(totals)
 	for _, stage := range stageOrder {
-		c.Stages = append(c.Stages, StageTime{Name: stage, Time: newStat(stageTimes[stage])})
+		st := newStat(stageTimes[stage])
+		if st.MinNS <= 0 {
+			// A sub-stage that never ran (e.g. no rip-up rounds) would fail
+			// Validate's positive-stat invariant; drop the row instead.
+			continue
+		}
+		c.Stages = append(c.Stages, StageTime{Name: stage, Time: st})
 	}
 	return c, nil
 }

@@ -23,7 +23,10 @@ import (
 // Unless Options.Serial is set, nets whose search regions are disjoint
 // are searched concurrently, with results committed in net order, so the
 // outcome is identical to a serial run.
-func ExampleRunContext() {
+// examplePlacement runs the pipeline prefix — decompose, ICM conversion,
+// canonical form, modular netlist, bridging, clustering, SA placement —
+// shared by the routing examples.
+func examplePlacement() *place.Placement {
 	c := qc.New("chain", 3)
 	c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2))
 
@@ -49,11 +52,18 @@ func ExampleRunContext() {
 	po.Iterations = 300
 	pl, err := place.Run(cl, br.Nets, po)
 	must(err)
+	return pl
+}
+
+func ExampleRunContext() {
+	pl := examplePlacement()
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 	res, err := route.RunContext(ctx, pl, route.DefaultOptions())
-	must(err)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("all nets routed:", len(res.Routes) == len(pl.Nets))
 	fmt.Println("degraded:", res.Degraded)
@@ -61,5 +71,65 @@ func ExampleRunContext() {
 	// Output:
 	// all nets routed: true
 	// degraded: false
+	// legal: true
+}
+
+// ExampleOptions demonstrates the scheduler and kernel knobs: the batched
+// first pass (the default; Serial disables it) co-schedules nets whose
+// search regions are disjoint under a conflict-graph coloring, and
+// Bidirectional picks the meet-in-the-middle A* kernel for
+// single-start/single-target nets. Both are exactly equivalent to the
+// serial unidirectional configuration in routed cells and diagnostics —
+// only the wall-clock differs — so flipping them never changes a result.
+func ExampleOptions() {
+	pl := examplePlacement()
+
+	fast := route.DefaultOptions() // batched + bidirectional
+	slow := fast
+	slow.Serial = true
+	slow.Bidirectional = false
+
+	a, err := route.Run(pl, fast)
+	if err != nil {
+		panic(err)
+	}
+	b, err := route.Run(pl, slow)
+	if err != nil {
+		panic(err)
+	}
+
+	same := len(a.Routes) == len(b.Routes)
+	for id, p := range a.Routes {
+		q := b.Routes[id]
+		same = same && len(p) == len(q)
+	}
+	fmt.Println("batched+bidi matches serial+uni:", same)
+	// Output:
+	// batched+bidi matches serial+uni: true
+}
+
+// ExampleOptions_steiner routes friend-net groups as multi-terminal
+// Steiner nets: every connected component of pin-sharing nets grows one
+// tree by nearest-terminal merging instead of routing each two-pin net
+// separately. The result carries the Steiner flag, and Verify switches to
+// the group-connectivity terminal rule (each routed net's pin pair must
+// be connected through the union of its group's paths).
+func ExampleOptions_steiner() {
+	pl := examplePlacement()
+
+	opts := route.DefaultOptions()
+	opts.Steiner = true // requires FriendNets (on by default)
+
+	res, err := route.Run(pl, opts)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("steiner mode:", res.Steiner)
+	fmt.Println("all nets routed:", len(res.Routes) == len(pl.Nets))
+	fmt.Println("legal:", route.Verify(pl, res) == nil)
+	// Output:
+	// steiner mode: true
+	// all nets routed: true
 	// legal: true
 }

@@ -1,8 +1,6 @@
 package route
 
 import (
-	"sync"
-
 	"repro/internal/geom"
 )
 
@@ -48,20 +46,37 @@ func (ci cellIndexer) point(i int) geom.Point {
 	return geom.Pt(ci.box.Min.X+x, ci.box.Min.Y+y, ci.box.Min.Z+z)
 }
 
+// denseCell packs every per-cell fact into one struct so the A* inner
+// loop's cellState probe touches a single cache line instead of four
+// parallel arrays.
+type denseCell struct {
+	hist     float64
+	net, pin int32
+	static   bool
+}
+
 // grid holds the router's per-cell world state: static obstacles, net
 // ownership, pin ownership and congestion history. Worlds up to
-// denseGridLimit cells use flat arrays indexed by cellIndexer (the A*
-// inner loop then runs without a single map operation); larger worlds
-// degrade to the original hash maps transparently.
+// denseGridLimit cells use one flat array of denseCell indexed by
+// cellIndexer (the A* inner loop then runs without a single map
+// operation); larger worlds degrade to the original hash maps
+// transparently.
 type grid struct {
 	world geom.Box
 	dense bool
 	idx   cellIndexer
 
-	static []bool
-	netAt  []int32
-	pinAt  []int32
-	hist   []float64
+	cells []denseCell
+	// blocked mirrors cells: 1 when the cell is static, net-owned or
+	// pin-owned. The A* kernels test this one byte on the fast path and
+	// fall back to the full cellState/passable check only for blocked
+	// cells (the owner might be the searching net itself), keeping the
+	// common free-cell probe inside a 24× denser array.
+	blocked []uint8
+	// histCells counts cells carrying a positive history charge. While it
+	// is zero (the whole first pass) every step costs exactly 1 and the
+	// kernels skip the per-neighbor history load altogether.
+	histCells int
 
 	staticM map[geom.Point]bool
 	netAtM  map[geom.Point]int
@@ -75,13 +90,11 @@ func newGrid(world geom.Box) *grid {
 	if v := world.Volume(); v > 0 && v <= denseGridLimit {
 		g.dense = true
 		g.idx = newCellIndexer(world)
-		g.static = make([]bool, v)
-		g.netAt = make([]int32, v)
-		g.pinAt = make([]int32, v)
-		g.hist = make([]float64, v)
-		for i := range g.netAt {
-			g.netAt[i] = -1
-			g.pinAt[i] = -1
+		g.cells = make([]denseCell, v)
+		g.blocked = make([]uint8, v)
+		for i := range g.cells {
+			g.cells[i].net = -1
+			g.cells[i].pin = -1
 		}
 		return g
 	}
@@ -103,7 +116,9 @@ func (g *grid) setStatic(p geom.Point) {
 		return
 	}
 	if g.dense {
-		g.static[g.idx.index(p)] = true
+		i := g.idx.index(p)
+		g.cells[i].static = true
+		g.blocked[i] = 1
 		return
 	}
 	g.staticM[p] = true
@@ -115,7 +130,7 @@ func (g *grid) isStatic(p geom.Point) bool {
 		return false
 	}
 	if g.dense {
-		return g.static[g.idx.index(p)]
+		return g.cells[g.idx.index(p)].static
 	}
 	return g.staticM[p]
 }
@@ -127,7 +142,9 @@ func (g *grid) setNet(p geom.Point, id int) {
 		return
 	}
 	if g.dense {
-		g.netAt[g.idx.index(p)] = int32(id)
+		i := g.idx.index(p)
+		g.cells[i].net = int32(id)
+		g.blocked[i] = 1
 		return
 	}
 	g.netAtM[p] = id
@@ -140,8 +157,11 @@ func (g *grid) clearNet(p geom.Point, id int) {
 	}
 	if g.dense {
 		i := g.idx.index(p)
-		if g.netAt[i] == int32(id) {
-			g.netAt[i] = -1
+		if c := &g.cells[i]; c.net == int32(id) {
+			c.net = -1
+			if !c.static && c.pin < 0 {
+				g.blocked[i] = 0
+			}
 		}
 		return
 	}
@@ -156,7 +176,7 @@ func (g *grid) netOwner(p geom.Point) (int, bool) {
 		return 0, false
 	}
 	if g.dense {
-		if id := g.netAt[g.idx.index(p)]; id >= 0 {
+		if id := g.cells[g.idx.index(p)].net; id >= 0 {
 			return int(id), true
 		}
 		return 0, false
@@ -171,7 +191,9 @@ func (g *grid) setPin(p geom.Point, pid int) {
 		return
 	}
 	if g.dense {
-		g.pinAt[g.idx.index(p)] = int32(pid)
+		i := g.idx.index(p)
+		g.cells[i].pin = int32(pid)
+		g.blocked[i] = 1
 		return
 	}
 	g.pinAtM[p] = pid
@@ -183,7 +205,7 @@ func (g *grid) pinOwner(p geom.Point) (int, bool) {
 		return 0, false
 	}
 	if g.dense {
-		if pid := g.pinAt[g.idx.index(p)]; pid >= 0 {
+		if pid := g.cells[g.idx.index(p)].pin; pid >= 0 {
 			return int(pid), true
 		}
 		return 0, false
@@ -192,13 +214,35 @@ func (g *grid) pinOwner(p geom.Point) (int, bool) {
 	return pid, ok
 }
 
+// cellState returns every per-cell fact the A* inner loop needs — the
+// owning net (-1 when free), the owning pin (-1 when none), the
+// static-obstacle flag and the congestion history — with a single bounds
+// check and index computation instead of one per probe.
+func (g *grid) cellState(p geom.Point) (net, pin int32, static bool, hist float64) {
+	if !g.in(p) {
+		return -1, -1, false, 0
+	}
+	if g.dense {
+		c := &g.cells[g.idx.index(p)]
+		return c.net, c.pin, c.static, c.hist
+	}
+	net, pin = -1, -1
+	if id, ok := g.netAtM[p]; ok {
+		net = int32(id)
+	}
+	if pid, ok := g.pinAtM[p]; ok {
+		pin = int32(pid)
+	}
+	return net, pin, g.staticM[p], g.histM[p]
+}
+
 // histAt returns the accumulated congestion history charge of p.
 func (g *grid) histAt(p geom.Point) float64 {
 	if !g.in(p) {
 		return 0
 	}
 	if g.dense {
-		return g.hist[g.idx.index(p)]
+		return g.cells[g.idx.index(p)].hist
 	}
 	return g.histM[p]
 }
@@ -209,11 +253,22 @@ func (g *grid) histAdd(p geom.Point, v float64) {
 		return
 	}
 	if g.dense {
-		g.hist[g.idx.index(p)] += v
+		c := &g.cells[g.idx.index(p)]
+		if c.hist == 0 && v > 0 {
+			g.histCells++
+		}
+		c.hist += v
 		return
+	}
+	if g.histM[p] == 0 && v > 0 {
+		g.histCells++
 	}
 	g.histM[p] += v
 }
+
+// hasHist reports whether any cell carries history charge; while false,
+// every step costs exactly 1 and the kernels skip history loads.
+func (g *grid) hasHist() bool { return g.histCells > 0 }
 
 // histStats returns the number of cells carrying history charge and the
 // maximum charge. Both are order-independent aggregates, so the result is
@@ -221,8 +276,8 @@ func (g *grid) histAdd(p geom.Point, v float64) {
 // iteration order.
 func (g *grid) histStats() (cells int, maxCharge float64) {
 	if g.dense {
-		for _, h := range g.hist {
-			if h > 0 {
+		for i := range g.cells {
+			if h := g.cells[i].hist; h > 0 {
 				cells++
 				if h > maxCharge {
 					maxCharge = h
@@ -242,48 +297,3 @@ func (g *grid) histStats() (cells int, maxCharge float64) {
 	return cells, maxCharge
 }
 
-// scratch is the per-search A* state: g-scores, parent links and a
-// generation stamp per region cell, plus the open heap. Generation
-// stamping makes reuse O(1) — a search bumps gen instead of clearing the
-// arrays — and the pool recycles scratches across searches and nets.
-type scratch struct {
-	capacity int
-	g        []float64
-	parent   []int32
-	gen      []uint32
-	cur      uint32
-	open     pq
-}
-
-// scratchPool recycles A* scratch buffers; one scratch is checked out per
-// in-flight search (concurrent searches each take their own).
-var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
-
-// reset prepares the scratch for a region of the given volume.
-func (s *scratch) reset(volume int) {
-	if volume > s.capacity {
-		s.g = make([]float64, volume)
-		s.parent = make([]int32, volume)
-		s.gen = make([]uint32, volume)
-		s.capacity = volume
-		s.cur = 0
-	}
-	s.cur++
-	if s.cur == 0 { // generation counter wrapped: invalidate everything
-		for i := range s.gen {
-			s.gen[i] = 0
-		}
-		s.cur = 1
-	}
-	s.open = s.open[:0]
-}
-
-// seen reports whether cell index i has a g-score in this generation.
-func (s *scratch) seen(i int) bool { return s.gen[i] == s.cur }
-
-// setG records g-score v for cell index i in this generation.
-func (s *scratch) setG(i int, v float64, parent int32) {
-	s.gen[i] = s.cur
-	s.g[i] = v
-	s.parent[i] = parent
-}

@@ -131,26 +131,37 @@ func TestGridOutOfWorldProbes(t *testing.T) {
 	}
 }
 
-// TestScratchGenerationReuse pins that scratch reuse does not leak state
-// between searches: a value set in one generation is invisible after
-// reset.
+// TestScratchGenerationReuse pins that searchState reuse does not leak
+// state between searches: g-scores and target stamps set in one
+// generation are invisible after reset, in both storage modes, and a
+// generation-counter wraparound invalidates everything.
 func TestScratchGenerationReuse(t *testing.T) {
-	var s scratch
-	s.reset(8)
-	s.setG(3, 1.5, 2)
-	if !s.seen(3) || s.g[3] != 1.5 || s.parent[3] != 2 {
-		t.Fatal("setG not visible in its own generation")
-	}
-	s.reset(8)
-	if s.seen(3) {
-		t.Fatal("stale g-score visible after reset")
-	}
-	// Wraparound: a forced gen overflow must invalidate everything.
-	s.cur = ^uint32(0)
-	s.gen[5] = s.cur
-	s.reset(8)
-	if s.cur == 0 || s.seen(5) {
-		t.Fatalf("wraparound left stale state (cur=%d)", s.cur)
+	region := geom.NewBox(0, 0, 0, 2, 2, 2)
+	c := geom.Pt(1, 1, 0)
+	for _, dense := range []bool{true, false} {
+		var s searchState
+		s.reset(region, dense)
+		i := s.slot(c)
+		s.setG(i, 1.5, -1)
+		s.markTarget(i)
+		if !s.seen(i) || s.g[i] != 1.5 || s.parent[i] != -1 || !s.isTarget(i) {
+			t.Fatalf("dense=%v: setG/markTarget not visible in their own generation", dense)
+		}
+		s.reset(region, dense)
+		i = s.slot(c)
+		if s.seen(i) || s.isTarget(i) {
+			t.Fatalf("dense=%v: stale state visible after reset", dense)
+		}
+		// Wraparound: a forced gen overflow must invalidate everything.
+		s.setG(i, 2, -1)
+		s.cur = ^uint32(0)
+		s.gen[i] = s.cur
+		s.tgen[i] = s.cur
+		s.reset(region, dense)
+		i = s.slot(c)
+		if s.cur == 0 || s.seen(i) || s.isTarget(i) {
+			t.Fatalf("dense=%v: wraparound left stale state (cur=%d)", dense, s.cur)
+		}
 	}
 }
 

@@ -6,14 +6,25 @@
 // with an already routed net may terminate anywhere on the routed friend's
 // path instead of at the pin, a topological deformation that preserves the
 // braiding relationship (Fig. 19).
+//
+// The hot path is organized around three compounding optimizations:
+// bidirectional A* for single-start/single-target nets (search.go), a
+// conflict-graph batched first pass that colors the net-region overlap
+// graph and searches each independent set concurrently (schedule in
+// firstPass/colorBatches), and an incrementally maintained R-tree over
+// routed net bounds so rip-up victim scans never rebuild an index or walk
+// every route. Friend-net groups can optionally route as multi-terminal
+// Steiner nets (steiner.go). Every mode is deterministic for a fixed
+// input: see ARCHITECTURE.md's "Routing" section for the contracts.
 package route
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bridge"
 	"repro/internal/faults"
@@ -48,6 +59,19 @@ type Options struct {
 	// whole expanded world (larger volume, but connected). Rescued nets
 	// set Result.Degraded and are listed in Result.FallbackNets.
 	Fallback bool
+	// Bidirectional enables the meet-in-the-middle A* kernel for nets
+	// with exactly one start and one target cell in the search region
+	// (multi-source/multi-target searches always run unidirectionally).
+	// Both kernels return cost-optimal paths, but may prefer different
+	// equal-cost geometry, so the flag is part of the cache key.
+	Bidirectional bool
+	// Steiner routes each friend-net group (a connected component of
+	// nets sharing pins) as one multi-terminal net by nearest-terminal
+	// merging instead of sequential two-pin nets. Requires FriendNets;
+	// results are verified by group connectivity (every routed net's pin
+	// pair must be connected through the union of its group's paths)
+	// rather than per-terminal anchoring. Off by default.
+	Steiner bool
 	// FailNet, when non-nil, forces the listed nets to fail their normal
 	// routing attempts (fault injection for degradation tests). Fallback
 	// rescue attempts are not affected. Unless Serial is set, FailNet may
@@ -55,12 +79,18 @@ type Options struct {
 	// concurrent use.
 	FailNet func(id int) bool
 	// Serial disables the concurrent first pass: every net is searched on
-	// the calling goroutine even when search regions are disjoint. The
-	// parallel first pass only co-schedules nets whose search regions are
-	// pairwise disjoint and commits results in net order, so it is exactly
-	// equivalent to the serial pass; Serial exists for debugging and for
-	// benchmarking the difference.
+	// the calling goroutine even when search regions allow batching. The
+	// batched pass only co-schedules nets whose search regions are
+	// pairwise disjoint and commits every conflicting net before a later
+	// net searches, so it is exactly equivalent to the serial pass;
+	// Serial exists for debugging and for benchmarking the difference.
 	Serial bool
+	// Clock, when non-nil, samples a monotonic elapsed time (typically
+	// time.Since of a fixed origin, injected by the caller so this
+	// package stays free of wall-clock reads) and enables the
+	// Result.Stats sub-stage timings. Nil disables timing collection.
+	// Cleared by tqec.CanonicalOptions: it never affects routing output.
+	Clock func() time.Duration
 }
 
 // DefaultOptions returns the standard configuration. The expansion and
@@ -75,6 +105,7 @@ func DefaultOptions() Options {
 		FriendNets:    true,
 		MaxExpansions: 60000,
 		Fallback:      true,
+		Bidirectional: true,
 	}
 }
 
@@ -94,6 +125,25 @@ type FailedNet struct {
 	Fallback bool
 	// Reason describes the outcome.
 	Reason string
+}
+
+// RoutingStats breaks the routing stage into sub-phases. The durations
+// are collected only when Options.Clock is set (they are zero otherwise);
+// the counters are always collected and are deterministic for a fixed
+// input and options.
+type RoutingStats struct {
+	// Search is the time spent in A* searches: concurrent first-pass
+	// batches are charged their wall-clock time, serial searches their
+	// individual time.
+	Search time.Duration
+	// Commit is the time spent committing paths: recording routes,
+	// claiming grid cells and maintaining the net R-tree.
+	Commit time.Duration
+	// RipUp is the time spent scanning for and removing rip-up victims,
+	// including congestion-history charging.
+	RipUp time.Duration
+	// Searches, Commits and RipUpScans count the corresponding events.
+	Searches, Commits, RipUpScans int
 }
 
 // Result is the routing outcome.
@@ -131,6 +181,11 @@ type Result struct {
 	PinCells map[int]geom.Point
 	// Bounds is the bounding box of bodies, boxes and routes.
 	Bounds geom.Box
+	// Stats carries the sub-stage timing breakdown (see RoutingStats).
+	Stats RoutingStats
+	// Steiner records that the result was produced with Options.Steiner,
+	// which switches Verify's terminal check to group connectivity.
+	Steiner bool
 }
 
 // WireCells returns the total number of cells used by routed nets.
@@ -140,6 +195,32 @@ func (r *Result) WireCells() int {
 		n += len(p)
 	}
 	return n
+}
+
+// endpointRebuilds counts endpoint-cache rebuilds (each rebuild sorts the
+// start and target cell sets). Exposed for the regression test pinning
+// that unchanged endpoints are not re-sorted across search attempts.
+var endpointRebuilds atomic.Int64
+
+// netEndpoints is the cached start/target cell sets of one net: the two
+// (rehomed) pin cells plus, when FriendNets is enabled, every cell of
+// every committed friend path at the corresponding pin. The cells are
+// cellLess-sorted and deduplicated; sbox/tbox are the bounding boxes used
+// as A* heuristic anchors. The cache is keyed by the two pins' revision
+// counters, which bump on every commit and uncommit of an incident net,
+// so a search only re-collects (and re-sorts) endpoints after they
+// actually changed.
+type netEndpoints struct {
+	valid      bool
+	revA, revB uint64
+	starts     []geom.Point
+	targets    []geom.Point
+	sbox, tbox geom.Box
+	// deg is the cellLess-smallest cell present in both sets (a friend
+	// path touching both pins); when hasDeg is set the net routes as the
+	// single-cell path {deg} without a search.
+	deg    geom.Point
+	hasDeg bool
 }
 
 type router struct {
@@ -154,6 +235,10 @@ type router struct {
 	// inFallback marks the degraded rescue phase (disables FailNet
 	// injection so forced failures can be rescued).
 	inFallback bool
+	// shove marks a shove-rescue search: the A* kernels may cross other
+	// nets' committed cells at shovePenalty each (see shoveRescue). Only
+	// toggled in the serial degrade phase, never during batched searches.
+	shove bool
 
 	static *rtree.Tree // module bodies and distillation boxes
 
@@ -169,9 +254,22 @@ type router struct {
 	// routeBounds caches each routed path's bounding box so rip-up
 	// victim scans can skip distant nets cheaply.
 	routeBounds map[int]geom.Box
+	// netTree indexes routed net bounding boxes, maintained
+	// incrementally on commit and uncommit, so rip-up victim scans query
+	// it instead of walking every route.
+	netTree *rtree.Tree
 
 	// friends[pin] lists net IDs sharing the pin.
 	friends map[int][]int
+
+	// eps caches per-net endpoint sets (indexed by net ID, which equals
+	// the net's index in nets); pinRev holds the pin revision counters
+	// that invalidate them. dirtyPins collects pins whose committed
+	// incident paths were removed since the last dangling scan, so
+	// repairDangling only re-checks nets that can actually have changed.
+	eps       []netEndpoints
+	pinRev    map[int]uint64
+	dirtyPins map[int]bool
 
 	// world clamps all search regions.
 	world geom.Box
@@ -207,8 +305,12 @@ func RunContext(ctx context.Context, p *place.Placement, opts Options) (*Result,
 		pinCell:     map[int]geom.Point{},
 		routes:      map[int]geom.Path{},
 		routeBounds: map[int]geom.Box{},
+		netTree:     rtree.New(),
 		friends:     map[int][]int{},
-		result:      &Result{Routes: map[int]geom.Path{}},
+		eps:         make([]netEndpoints, len(p.Nets)),
+		pinRev:      map[int]uint64{},
+		dirtyPins:   map[int]bool{},
+		result:      &Result{Routes: map[int]geom.Path{}, Steiner: opts.Steiner && opts.FriendNets},
 	}
 	if err := r.build(); err != nil {
 		return nil, err
@@ -219,6 +321,15 @@ func RunContext(ctx context.Context, p *place.Placement, opts Options) (*Result,
 	}
 	r.finish()
 	return r.result, nil
+}
+
+// tick samples the injected clock; it returns 0 when timing is disabled,
+// so duration deltas computed from it collapse to zero.
+func (r *router) tick() time.Duration {
+	if r.opts.Clock == nil {
+		return 0
+	}
+	return r.opts.Clock()
 }
 
 // checkCtx polls the context, caching the first cancellation error. It
@@ -349,7 +460,13 @@ func (r *router) homePin(pid int, pos geom.Point, staticCells map[geom.Point]boo
 	return cands[0].c, nil
 }
 
-// route performs the iterative routing with rip-up and reroute.
+// route performs the iterative routing with rip-up and reroute: a first
+// pass over all nets (Steiner groups first when enabled, then individual
+// nets in non-decreasing pin-distance order, batched by the conflict
+// graph unless Serial), a bounded negotiation loop that widens failed
+// nets' regions and rips up blocking victims while charging congestion
+// history, anchoring/connectivity repair, and finally the degradation
+// path for anything left.
 func (r *router) route() {
 	// First iteration: all nets, sorted by non-decreasing Manhattan
 	// distance.
@@ -366,7 +483,19 @@ func (r *router) route() {
 		margin[i] = r.opts.InitialMargin
 	}
 
-	failed := r.firstPass(order, margin)
+	var failed []int
+	if r.result.Steiner {
+		var grouped map[int]bool
+		grouped, failed = r.routeSteinerGroups()
+		rest := order[:0]
+		for _, idx := range order {
+			if !grouped[idx] {
+				rest = append(rest, idx)
+			}
+		}
+		order = rest
+	}
+	failed = append(failed, r.firstPass(order, margin)...)
 	if r.ctxErr != nil {
 		return
 	}
@@ -428,10 +557,15 @@ func (r *router) route() {
 		failed = dedupInts(still)
 	}
 	failed = append(failed, abandoned...)
-	// Restore the friend-net anchoring invariant: rip-ups may have left
-	// nets terminating on paths that no longer exist. Nets the repair
-	// cannot re-route join the failed set for the degradation path.
-	failed = append(failed, r.repairDangling(margin)...)
+	// Restore the friend-net anchoring invariant (or, in Steiner mode,
+	// group connectivity): rip-ups may have left nets terminating on
+	// paths that no longer exist. Nets the repair cannot re-route join
+	// the failed set for the degradation path.
+	if r.result.Steiner {
+		failed = append(failed, r.repairGroups(margin)...)
+	} else {
+		failed = append(failed, r.repairDangling(margin)...)
+	}
 	var exhausted []int
 	for _, idx := range dedupInts(failed) {
 		if _, routed := r.routes[r.nets[idx].ID]; !routed {
@@ -443,21 +577,51 @@ func (r *router) route() {
 }
 
 // firstPass routes every net once, in the given order, and returns the
-// indices of the nets that failed. Unless Options.Serial is set, it
-// peels maximal prefixes of the remaining order whose search regions are
-// pairwise disjoint (checked against an R-tree of the batch's regions)
-// and searches each batch concurrently, committing results serially in
-// net order. Because a committed path never leaves its net's search
-// region and friend nets always share a pin cell (hence overlapping
-// regions), a batch member can neither block nor feed another, so the
-// outcome is exactly the serial pass's.
-func (r *router) firstPass(order, margin []int) (failed []int) {
-	for len(order) > 0 {
-		if r.checkCtx() {
-			return failed
+// indices of the nets that failed, in order. With Options.Serial every
+// net is searched and committed on the calling goroutine. Otherwise the
+// pass partitions the order into conflict-graph batches (colorBatches):
+// each batch's nets have pairwise-disjoint search regions and every
+// earlier-order net with an overlapping region sits in an earlier batch,
+// so by the time a batch searches concurrently, exactly the same routes
+// are committed as before each member's serial search — a committed path
+// never leaves its net's search region, and friend nets always share a
+// pin cell (hence overlapping regions, hence an earlier batch). Batch
+// results commit serially in order and failures are re-sorted to the
+// serial failure order, so the outcome is exactly the serial pass's.
+func (r *router) firstPass(order []int, margin []int) (failed []int) {
+	if r.opts.Serial {
+		for _, idx := range order {
+			if r.checkCtx() {
+				return failed
+			}
+			t0 := r.tick()
+			path := r.searchNet(r.nets[idx], margin[idx])
+			r.result.Stats.Search += r.tick() - t0
+			r.result.Stats.Searches++
+			if path != nil {
+				r.commit(r.nets[idx], path)
+				r.result.FirstPassRouted++
+			} else {
+				failed = append(failed, idx)
+			}
 		}
-		batch := r.disjointPrefix(order, margin)
+		return failed
+	}
+	pos := make([]int, len(r.nets)) // net index -> order position
+	for oi, idx := range order {
+		pos[idx] = oi
+	}
+	for _, batch := range r.colorBatches(order, margin) {
+		if r.checkCtx() {
+			break
+		}
+		// Warm the endpoint caches serially: the concurrent searches
+		// below then only read them.
+		for _, idx := range batch {
+			r.endpointsFor(r.nets[idx])
+		}
 		paths := make([]geom.Path, len(batch))
+		t0 := r.tick()
 		if len(batch) == 1 {
 			paths[0] = r.searchNet(r.nets[batch[0]], margin[batch[0]])
 		} else {
@@ -471,6 +635,8 @@ func (r *router) firstPass(order, margin []int) (failed []int) {
 			}
 			wg.Wait()
 		}
+		r.result.Stats.Search += r.tick() - t0
+		r.result.Stats.Searches += len(batch)
 		for bi, idx := range batch {
 			if paths[bi] != nil {
 				r.commit(r.nets[idx], paths[bi])
@@ -479,36 +645,117 @@ func (r *router) firstPass(order, margin []int) (failed []int) {
 				failed = append(failed, idx)
 			}
 		}
-		order = order[len(batch):]
 	}
+	// Batches interleave the order, so restore the serial failure order.
+	sort.Slice(failed, func(i, j int) bool { return pos[failed[i]] < pos[failed[j]] })
 	return failed
 }
 
-// disjointPrefix returns the maximal prefix of order whose search
-// regions are pairwise disjoint (always at least one net). With
-// Options.Serial set every batch is a single net.
-func (r *router) disjointPrefix(order, margin []int) []int {
-	if r.opts.Serial {
-		return order[:1]
-	}
+// colorBatches partitions order into layered conflict-graph classes: two
+// nets conflict when their search regions intersect, and a net's class is
+// 1 + the maximum class of any EARLIER-order conflicting net (0 with
+// none). Within a class all regions are pairwise disjoint (a same-class
+// earlier conflict would have forced a later class), and every earlier
+// conflicting net lands in a strictly earlier class — the property
+// firstPass needs for serial equivalence. The conflict queries run
+// against an R-tree of all regions built once per pass, replacing the old
+// disjoint-prefix scheme that rebuilt a prefix index per batch and never
+// batched past the first overlap.
+func (r *router) colorBatches(order []int, margin []int) [][]int {
+	boxes := make([]geom.Box, len(order))
 	regions := rtree.New()
-	n := 0
-	for _, idx := range order {
-		region := r.searchRegion(r.nets[idx], margin[idx])
-		if n > 0 && regions.Intersects(region) {
-			break
-		}
-		regions.Insert(region, idx)
-		n++
+	for oi, idx := range order {
+		boxes[oi] = r.searchRegion(r.nets[idx], margin[idx])
+		regions.Insert(boxes[oi], oi)
 	}
-	return order[:n]
+	color := make([]int, len(order))
+	var batches [][]int
+	var hits []rtree.Entry
+	for oi := range order {
+		c := 0
+		hits = regions.Search(boxes[oi], hits[:0])
+		for _, e := range hits {
+			if e.ID < oi && color[e.ID] >= c {
+				c = color[e.ID] + 1
+			}
+		}
+		color[oi] = c
+		if c == len(batches) {
+			batches = append(batches, nil)
+		}
+		batches[c] = append(batches[c], order[oi])
+	}
+	return batches
 }
 
-// degrade handles the nets left unrouted after the negotiation rounds:
-// it records per-net diagnostics and, when enabled, attempts a
-// last-resort fallback route over the whole expanded world. Any net the
-// fallback rescues marks the result Degraded; any net it cannot rescue
-// additionally lands in Failed.
+// shovePenalty is the extra cost a shove-rescue search pays per foreign
+// committed cell it crosses: large enough that any free detour up to a
+// thousand steps is preferred, finite so an enclosed net can still buy
+// its way out through the thinnest wall of committed paths.
+const shovePenalty = 1024.0
+
+// shoveRescueBudget bounds the extra shove rescues one degrade call may
+// perform beyond one per originally exhausted net, so cascading victim
+// reroutes cannot ripple forever.
+const shoveRescueBudget = 4
+
+// shoveRescue is the router's final escalation state: a whole-world
+// search that may cross other nets' committed cells at shovePenalty
+// each. On success exactly the crossed nets are ripped up (with the
+// usual history charge), the rescued path is committed, and the victims
+// are returned in ascending order for rerouting by the caller. Statics
+// and foreign pin cells stay impassable, so a false return proves the
+// net's terminals are enclosed by immovable geometry. Terminal cells are
+// exempt from victim collection: ending on a friend's committed path is
+// the ordinary Fig. 19 deformation, not a crossing.
+func (r *router) shoveRescue(n bridge.Net, margin int) ([]int, bool) {
+	t0 := r.tick()
+	r.shove = true
+	path := r.searchNet(n, margin)
+	r.shove = false
+	r.result.Stats.Search += r.tick() - t0
+	r.result.Stats.Searches++
+	if path == nil {
+		return nil, false
+	}
+	victims := map[int]bool{}
+	for i, c := range path {
+		if i == 0 || i == len(path)-1 {
+			continue
+		}
+		if id, ok := r.grid.netOwner(c); ok && id != n.ID {
+			victims[id] = true
+		}
+	}
+	out := make([]int, 0, len(victims))
+	for id := range victims {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	for _, id := range out {
+		for _, c := range r.routes[id] {
+			r.grid.histAdd(c, 1.0)
+			r.grid.clearNet(c, id)
+		}
+		r.dropRoute(id)
+		r.result.RippedUp++
+	}
+	r.commit(n, path)
+	return out, true
+}
+
+// degrade handles the nets left unrouted after the negotiation rounds.
+// When Fallback is enabled each net gets a last-resort route over the
+// whole expanded world; a net the plain fallback cannot place escalates
+// to a shove rescue (see shoveRescue), whose ripped victims join the
+// worklist and are rerouted the same way. Because shoves can strand a
+// friend's borrowed terminal, each round ends with a dangling repair,
+// and any nets it gives up on re-enter the worklist. The shove budget
+// bounds the cascade; everything still unrouted when the work dries up
+// lands in Failed. All rescued or failed nets get FailedNet diagnostics,
+// and any rescue or failure marks the result Degraded. Steiner results
+// skip the shove escalation (ripping a group member would invalidate
+// the group-connectivity invariant repairGroups has just restored).
 func (r *router) degrade(exhausted []int, attempts, margin []int) {
 	if len(exhausted) == 0 {
 		return
@@ -516,11 +763,82 @@ func (r *router) degrade(exhausted []int, attempts, margin []int) {
 	// A margin this large makes searchRegion degenerate to the full
 	// world (searchRegion clamps against it).
 	worldMargin := r.world.Dx() + r.world.Dy() + r.world.Dz()
-	for _, idx := range exhausted {
-		if r.checkCtx() {
-			return
+	shoveBudget := len(exhausted) + shoveRescueBudget
+	if r.result.Steiner || !r.opts.Fallback {
+		shoveBudget = 0
+	}
+	// reason records the outcome per net index; "" means still unrouted.
+	reason := map[int]string{}
+	queue := append([]int(nil), exhausted...)
+	r.inFallback = true
+	shoved := false
+	for len(queue) > 0 {
+		work := queue
+		queue = nil
+		for qi := 0; qi < len(work); qi++ {
+			if r.checkCtx() {
+				r.inFallback = false
+				return
+			}
+			idx := work[qi]
+			n := r.nets[idx]
+			if _, done := r.routes[n.ID]; done {
+				continue // rerouted, or re-queued after already being rescued
+			}
+			if _, seen := reason[idx]; !seen {
+				reason[idx] = ""
+			}
+			victim := reason[idx] != "" // ripped again after an earlier rescue
+			if !r.opts.Fallback {
+				reason[idx] = "negotiation exhausted (fallback disabled)"
+				continue
+			}
+			if r.tryRoute(n, worldMargin) {
+				if victim {
+					reason[idx] = "ripped by a shove rescue; rerouted by whole-world fallback"
+				} else {
+					reason[idx] = "negotiation exhausted; rescued by whole-world fallback route"
+				}
+				continue
+			}
+			if shoveBudget > 0 {
+				if victims, ok := r.shoveRescue(n, worldMargin); ok {
+					shoveBudget--
+					shoved = true
+					reason[idx] = "negotiation exhausted; rescued by whole-world shove route"
+					for _, v := range victims {
+						if _, seen := reason[v]; !seen {
+							reason[v] = "ripped by a shove rescue; rerouted by whole-world fallback"
+						}
+					}
+					work = append(work, victims...)
+					continue
+				}
+			}
+			reason[idx] = "unroutable: negotiation and whole-world fallback both exhausted"
 		}
+		// Shove rescues can strand a friend that borrowed a victim's old
+		// path; restore the anchoring invariant and requeue anything the
+		// repair gives up on.
+		if shoved && !r.result.Steiner {
+			shoved = false
+			for _, idx := range r.repairDangling(margin) {
+				if _, routed := r.routes[r.nets[idx].ID]; !routed {
+					queue = append(queue, idx)
+				}
+			}
+			sort.Ints(queue)
+		}
+	}
+	r.inFallback = false
+	touched := make([]int, 0, len(reason))
+	for idx := range reason {
+		touched = append(touched, idx)
+	}
+	sort.Ints(touched)
+	for _, idx := range touched {
 		n := r.nets[idx]
+		_, routed := r.routes[n.ID]
 		fn := FailedNet{
 			NetID:      n.ID,
 			PinA:       r.pinCell[n.PinA],
@@ -528,23 +846,17 @@ func (r *router) degrade(exhausted []int, attempts, margin []int) {
 			Manhattan:  r.netDist(n),
 			Attempts:   attempts[idx] + 1,
 			LastMargin: margin[idx],
+			Fallback:   routed,
+			Reason:     reason[idx],
 		}
-		if r.opts.Fallback {
-			r.inFallback = true
-			ok := r.tryRoute(n, worldMargin)
-			r.inFallback = false
-			if ok {
-				fn.Fallback = true
-				fn.Reason = "negotiation exhausted; rescued by whole-world fallback route"
-				r.result.FallbackNets = append(r.result.FallbackNets, n.ID)
-				r.result.FailedNets = append(r.result.FailedNets, fn)
-				continue
-			}
-			fn.Reason = "unroutable: negotiation and whole-world fallback both exhausted"
+		if routed {
+			r.result.FallbackNets = append(r.result.FallbackNets, n.ID)
 		} else {
-			fn.Reason = "negotiation exhausted (fallback disabled)"
+			if fn.Reason == "" {
+				fn.Reason = "unroutable: negotiation and whole-world fallback both exhausted"
+			}
+			r.result.Failed = append(r.result.Failed, n.ID)
 		}
-		r.result.Failed = append(r.result.Failed, n.ID)
 		r.result.FailedNets = append(r.result.FailedNets, fn)
 	}
 	r.result.Degraded = len(r.result.FallbackNets) > 0 || len(r.result.Failed) > 0
@@ -572,38 +884,57 @@ func (r *router) searchRegion(n bridge.Net, margin int) geom.Box {
 }
 
 // ripUpRegion removes routed nets whose cells intersect the region,
-// charging congestion history, and returns the victims' net indices.
-// Ripping a net can leave a friend that terminated on its path with a
-// dangling terminal; repairDangling re-anchors those after the
-// negotiation rounds instead of cascading rip-ups here (eager transitive
-// ripping thrashes the rip budget on congested regions).
+// charging congestion history, and returns the victims' net indices in
+// ascending order. Candidates come from the incrementally maintained net
+// R-tree (bounding-box hits filtered by an exact cell scan), so the cost
+// scales with the nets near the region, not the routed total. Ripping a
+// net can leave a friend that terminated on its path with a dangling
+// terminal; repairDangling re-anchors those after the negotiation rounds
+// instead of cascading rip-ups here (eager transitive ripping thrashes
+// the rip budget on congested regions).
 func (r *router) ripUpRegion(region geom.Box, exceptNet int) []int {
-	victims := map[int]bool{}
-	for id, path := range r.routes {
-		if id == exceptNet || !r.routeBounds[id].Intersects(region) {
+	t0 := r.tick()
+	var out []int
+	for _, e := range r.netTree.Search(region, nil) {
+		id := e.ID
+		if id == exceptNet {
 			continue
 		}
-		for _, c := range path {
+		for _, c := range r.routes[id] {
 			if region.Contains(c) {
-				victims[id] = true
+				out = append(out, id)
 				break
 			}
 		}
 	}
-	var out []int
-	for id := range victims {
+	sort.Ints(out)
+	for _, id := range out {
 		for _, c := range r.routes[id] {
 			r.grid.histAdd(c, 1.0)
 			r.grid.clearNet(c, id)
 		}
-		delete(r.routes, id)
-		delete(r.routeBounds, id)
+		r.dropRoute(id)
 		r.result.RippedUp++
-		// net IDs equal their index in r.nets (bridge assigns them so).
-		out = append(out, id)
 	}
-	sort.Ints(out)
+	r.result.Stats.RipUp += r.tick() - t0
+	r.result.Stats.RipUpScans++
+	// net IDs equal their index in r.nets (bridge assigns them so).
 	return out
+}
+
+// dropRoute removes net id's route bookkeeping — route map, bounds cache,
+// net R-tree entry — and invalidates dependent state: the endpoint caches
+// keyed off the net's pins and the dangling-scan dirty set. The caller
+// has already cleared or will re-own the grid cells.
+func (r *router) dropRoute(id int) {
+	r.netTree.Delete(r.routeBounds[id], id)
+	delete(r.routes, id)
+	delete(r.routeBounds, id)
+	n := r.nets[id]
+	r.pinRev[n.PinA]++
+	r.pinRev[n.PinB]++
+	r.dirtyPins[n.PinA] = true
+	r.dirtyPins[n.PinB] = true
 }
 
 // anchored reports whether cell c is a legal terminal for net n's pin:
@@ -629,18 +960,33 @@ func (r *router) anchored(netID, pin int, c geom.Point) bool {
 // danglingNets returns the routed nets whose paths are no longer anchored
 // at both ends — a friend whose path a terminal borrowed was ripped up
 // without this net being re-routed. A terminal at the net's own pin cell
-// never dangles, so nets merely sharing a pin cell stay out.
+// never dangles, so nets merely sharing a pin cell stay out. Only nets
+// incident to a dirty pin (one whose committed incident paths were
+// removed since the last scan) are examined: a commit can only add anchor
+// cells, so an undisturbed net cannot start dangling.
 func (r *router) danglingNets() []int {
 	var bad []int
-	for id, path := range r.routes {
-		n := r.nets[id]
-		head, tail := path[0], path[len(path)-1]
-		if (r.anchored(id, n.PinA, head) && r.anchored(id, n.PinB, tail)) ||
-			(r.anchored(id, n.PinB, head) && r.anchored(id, n.PinA, tail)) {
-			continue
+	checked := map[int]bool{}
+	for pid := range r.dirtyPins {
+		for _, id := range r.friends[pid] {
+			if checked[id] {
+				continue
+			}
+			checked[id] = true
+			path, ok := r.routes[id]
+			if !ok {
+				continue
+			}
+			n := r.nets[id]
+			head, tail := path[0], path[len(path)-1]
+			if (r.anchored(id, n.PinA, head) && r.anchored(id, n.PinB, tail)) ||
+				(r.anchored(id, n.PinB, head) && r.anchored(id, n.PinA, tail)) {
+				continue
+			}
+			bad = append(bad, id)
 		}
-		bad = append(bad, id)
 	}
+	clear(r.dirtyPins)
 	sort.Ints(bad)
 	return bad
 }
@@ -651,18 +997,24 @@ func (r *router) uncommit(id int) {
 	for _, c := range r.routes[id] {
 		r.grid.clearNet(c, id)
 	}
-	delete(r.routes, id)
-	delete(r.routeBounds, id)
+	r.dropRoute(id)
 }
 
 // repairDangling restores the friend-net anchoring invariant after the
 // negotiation rounds: nets whose borrowed terminal dangles are ripped and
-// re-routed against the current committed paths. Re-routing one net can
-// strand another that borrowed its old path, so the scan iterates to a
-// fixpoint; any net still unanchored at the bound is ripped for good and
-// returned so the caller hands it to the degradation path.
+// re-routed against the current committed paths. A net whose plain
+// reroute fails gets one negotiate round of its own — rip up the pin
+// shell, then the search region, reroute at an escalated margin and give
+// the victims their immediate retry — under an absolute rip budget, so a
+// dangling net in a congested region is not abandoned while ordinary
+// negotiation failures get rip-up rounds. Re-routing one net can strand
+// another that borrowed its old path, so the scan iterates to a
+// fixpoint; any net still unanchored at the bound, or unroutable even
+// after its rip-up round, is left unrouted and returned so the caller
+// hands it to the degradation path.
 func (r *router) repairDangling(margin []int) []int {
 	var lost []int
+	ripBudget := 4 * len(r.nets) // absolute bound on r.result.RippedUp
 	for pass := 0; pass <= len(r.nets); pass++ {
 		if r.checkCtx() {
 			return lost
@@ -680,35 +1032,99 @@ func (r *router) repairDangling(margin []int) []int {
 			return append(lost, bad...)
 		}
 		for _, id := range bad {
-			if !r.tryRoute(r.nets[id], margin[id]+r.opts.ExpandStep) {
+			n := r.nets[id]
+			m := margin[id] + r.opts.ExpandStep
+			if r.tryRoute(n, m) {
+				continue
+			}
+			if r.result.RippedUp >= ripBudget {
 				lost = append(lost, id)
+				continue
+			}
+			ripped := r.ripUpRegion(r.searchRegion(n, 1), n.ID)
+			if !r.tryRoute(n, m) {
+				ripped = append(ripped, r.ripUpRegion(r.searchRegion(n, m), n.ID)...)
+			}
+			if !r.tryRoute(n, m) {
+				lost = append(lost, id)
+			}
+			for _, v := range ripped {
+				if !r.tryRoute(r.nets[v], margin[v]+r.opts.ExpandStep) {
+					lost = append(lost, v)
+				}
 			}
 		}
 	}
 	return lost
 }
 
-// endpointSets returns the start and target cell sets for a net, including
-// friend-net path cells when enabled.
-func (r *router) endpointSets(n bridge.Net) (starts, targets map[geom.Point]bool) {
-	starts = map[geom.Point]bool{r.pinCell[n.PinA]: true}
-	targets = map[geom.Point]bool{r.pinCell[n.PinB]: true}
-	if !r.opts.FriendNets {
-		return starts, targets
+// endpointsFor returns net n's cached endpoint sets, rebuilding them only
+// when a commit or uncommit of a net incident to either pin bumped the
+// pin's revision since the last build. During a concurrent first-pass
+// batch the caches of all batch members are warmed beforehand, so this is
+// a read-only lookup from the search goroutines.
+func (r *router) endpointsFor(n bridge.Net) *netEndpoints {
+	ep := &r.eps[n.ID]
+	ra, rb := r.pinRev[n.PinA], r.pinRev[n.PinB]
+	if ep.valid && ep.revA == ra && ep.revB == rb {
+		return ep
 	}
-	add := func(set map[geom.Point]bool, pin int) {
+	endpointRebuilds.Add(1)
+	ep.starts = r.endpointCells(ep.starts[:0], n, n.PinA)
+	ep.targets = r.endpointCells(ep.targets[:0], n, n.PinB)
+	ep.sbox = cellsBounds(ep.starts)
+	ep.tbox = cellsBounds(ep.targets)
+	// Degenerate: a start cell that is already a target (friend paths
+	// touching) routes with a single-cell path; both lists are
+	// cellLess-sorted, so the first merge match is the lowest such cell
+	// and the choice never depends on iteration order.
+	ep.hasDeg = false
+	for i, j := 0, 0; i < len(ep.starts) && j < len(ep.targets); {
+		s, t := ep.starts[i], ep.targets[j]
+		if s == t {
+			ep.deg, ep.hasDeg = s, true
+			break
+		}
+		if cellLess(s, t) {
+			i++
+		} else {
+			j++
+		}
+	}
+	ep.revA, ep.revB, ep.valid = ra, rb, true
+	return ep
+}
+
+// endpointCells appends the pin's cell and (with FriendNets) every cell
+// of every committed friend path at the pin, then sorts by cellLess and
+// deduplicates.
+func (r *router) endpointCells(dst []geom.Point, n bridge.Net, pin int) []geom.Point {
+	dst = append(dst, r.pinCell[pin])
+	if r.opts.FriendNets {
 		for _, fid := range r.friends[pin] {
 			if fid == n.ID {
 				continue
 			}
-			for _, c := range r.routes[fid] {
-				set[c] = true
-			}
+			dst = append(dst, r.routes[fid]...)
 		}
 	}
-	add(starts, n.PinA)
-	add(targets, n.PinB)
-	return starts, targets
+	sort.Slice(dst, func(i, j int) bool { return cellLess(dst[i], dst[j]) })
+	out := dst[:0]
+	for i, c := range dst {
+		if i == 0 || c != dst[i-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// cellsBounds returns the bounding box of the given cells.
+func cellsBounds(cells []geom.Point) geom.Box {
+	var b geom.Box
+	for _, c := range cells {
+		b = b.UnionPoint(c)
+	}
+	return b
 }
 
 // tryRoute attempts to route one net within its current search region,
@@ -717,7 +1133,10 @@ func (r *router) tryRoute(n bridge.Net, margin int) bool {
 	if _, done := r.routes[n.ID]; done {
 		return true
 	}
+	t0 := r.tick()
 	path := r.searchNet(n, margin)
+	r.result.Stats.Search += r.tick() - t0
+	r.result.Stats.Searches++
 	if path == nil {
 		return false
 	}
@@ -726,8 +1145,10 @@ func (r *router) tryRoute(n bridge.Net, margin int) bool {
 }
 
 // searchNet finds a path for one net within its current search region
-// without committing it. It mutates no router state, so independent nets
-// may search concurrently; the caller must not have routed n already.
+// without committing it. Aside from a possible endpoint-cache fill (which
+// the batched scheduler performs up front), it mutates no router state,
+// so independent nets may search concurrently; the caller must not have
+// routed n already.
 func (r *router) searchNet(n bridge.Net, margin int) geom.Path {
 	// Fault injection: force this net's normal attempts to fail so
 	// degradation paths can be exercised under test. The fallback rescue
@@ -735,84 +1156,33 @@ func (r *router) searchNet(n bridge.Net, margin int) geom.Path {
 	if r.opts.FailNet != nil && !r.inFallback && r.opts.FailNet(n.ID) {
 		return nil
 	}
-	starts, targets := r.endpointSets(n)
-	// Degenerate: a start cell that is already a target (friend paths
-	// touching) routes with a single-cell path; the lowest such cell in
-	// (Z, Y, X) order wins so the choice never depends on map iteration.
-	var deg geom.Point
-	haveDeg := false
-	for c := range starts {
-		if targets[c] && (!haveDeg || cellLess(c, deg)) {
-			deg, haveDeg = c, true
-		}
+	ep := r.endpointsFor(n)
+	if ep.hasDeg {
+		return geom.Path{ep.deg}
 	}
-	if haveDeg {
-		return geom.Path{deg}
-	}
-	region := r.searchRegion(n, margin)
-	// Region must cover all explicit endpoints; friend cells outside are
-	// simply unusable this attempt.
-	return r.astar(n, starts, targets, region)
+	return r.astar(n, ep, r.searchRegion(n, margin))
 }
 
+// commit records a routed path: the route map, the bounds cache, the net
+// R-tree, grid cell ownership (first owner wins — friend endpoints may
+// coincide) and the pin revisions that invalidate dependent endpoint
+// caches.
 func (r *router) commit(n bridge.Net, path geom.Path) {
+	t0 := r.tick()
 	r.routes[n.ID] = path
-	r.routeBounds[n.ID] = path.Bounds()
+	b := path.Bounds()
+	r.routeBounds[n.ID] = b
+	r.netTree.Insert(b, n.ID)
 	for _, c := range path {
 		if _, occ := r.grid.netOwner(c); !occ {
 			r.grid.setNet(c, n.ID)
 		}
 	}
+	r.pinRev[n.PinA]++
+	r.pinRev[n.PinB]++
+	r.result.Stats.Commit += r.tick() - t0
+	r.result.Stats.Commits++
 }
-
-// blocked reports whether net n may not occupy cell c.
-func (r *router) blocked(n bridge.Net, c geom.Point) bool {
-	if owner, occ := r.grid.netOwner(c); occ && owner != n.ID {
-		return true
-	}
-	if pid, isPin := r.grid.pinOwner(c); isPin && pid != n.PinA && pid != n.PinB {
-		return true // foreign pin access cell
-	}
-	return r.grid.isStatic(c)
-}
-
-// pqItem is an A* frontier entry.
-type pqItem struct {
-	cell geom.Point
-	f, g float64
-}
-
-type pq []pqItem
-
-// cellLess orders cells by (Z, Y, X); the router's deterministic
-// tie-breaker wherever an arbitrary-but-reproducible cell choice is
-// needed.
-func cellLess(a, b geom.Point) bool {
-	if a.Z != b.Z {
-		return a.Z < b.Z
-	}
-	if a.Y != b.Y {
-		return a.Y < b.Y
-	}
-	return a.X < b.X
-}
-
-func (q pq) Len() int { return len(q) }
-func (q pq) Less(i, j int) bool {
-	// Deterministic ordering: break f ties by g, then by cell coordinates,
-	// so identical inputs route identically across runs.
-	if q[i].f != q[j].f {
-		return q[i].f < q[j].f
-	}
-	if q[i].g != q[j].g {
-		return q[i].g < q[j].g
-	}
-	return cellLess(q[i].cell, q[j].cell)
-}
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)         { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any           { it := (*q)[len(*q)-1]; *q = (*q)[:len(*q)-1]; return it }
-func (q *pq) PushItem(it pqItem) { heap.Push(q, it) }
 
 // searchCanceled polls the context without caching the error; unlike
 // checkCtx it writes no router state, so concurrent searches may call it.
@@ -820,186 +1190,6 @@ func (q *pq) PushItem(it pqItem) { heap.Push(q, it) }
 // next loop boundary.
 func (r *router) searchCanceled() bool {
 	return faults.Canceled(r.ctx) != nil
-}
-
-// boxDistance returns the Manhattan distance from c to box b — the A*
-// heuristic for a multi-target search (admissible: every target lies in
-// the targets' bounding box).
-func boxDistance(c geom.Point, b geom.Box) float64 {
-	d := 0
-	if c.X < b.Min.X {
-		d += b.Min.X - c.X
-	} else if c.X >= b.Max.X {
-		d += c.X - (b.Max.X - 1)
-	}
-	if c.Y < b.Min.Y {
-		d += b.Min.Y - c.Y
-	} else if c.Y >= b.Max.Y {
-		d += c.Y - (b.Max.Y - 1)
-	}
-	if c.Z < b.Min.Z {
-		d += b.Min.Z - c.Z
-	} else if c.Z >= b.Max.Z {
-		d += c.Z - (b.Max.Z - 1)
-	}
-	return float64(d)
-}
-
-// sortedStarts returns the in-region start cells in deterministic
-// (Z, Y, X) order; out-of-region friend cells are unusable this attempt.
-func sortedStarts(starts map[geom.Point]bool, region geom.Box) []geom.Point {
-	cells := make([]geom.Point, 0, len(starts))
-	for c := range starts {
-		if region.Contains(c) {
-			cells = append(cells, c)
-		}
-	}
-	sort.Slice(cells, func(i, j int) bool { return cellLess(cells[i], cells[j]) })
-	return cells
-}
-
-// astar searches a cheapest path from any start to any target within the
-// region. The heuristic is the Manhattan distance to the targets' bounding
-// box. Regions up to denseSearchLimit cells (all but degenerate
-// whole-world rescues) run on pooled flat-array scratch state; larger
-// ones fall back to hash maps. Both variants expand nodes in the exact
-// same deterministic order and return identical paths.
-func (r *router) astar(n bridge.Net, starts, targets map[geom.Point]bool, region geom.Box) geom.Path {
-	var tbox geom.Box
-	for c := range targets {
-		tbox = tbox.UnionPoint(c)
-	}
-	h := func(c geom.Point) float64 { return boxDistance(c, tbox) }
-
-	// A region can never yield more useful expansions than it has cells.
-	maxExp := r.opts.MaxExpansions
-	if r.inFallback {
-		// The rescue pass searches the whole world; give it more room
-		// (still bounded so enclosed pins cannot wedge the router).
-		maxExp *= 8
-	}
-	if v := region.Volume(); v < maxExp {
-		maxExp = v
-	}
-	if region.Volume() <= denseSearchLimit {
-		return r.astarDense(n, starts, targets, region, h, maxExp)
-	}
-	return r.astarSparse(n, starts, targets, region, h, maxExp)
-}
-
-// astarDense is the hot-path A*: g-scores, parent links and the visited
-// set live in pooled generation-stamped flat arrays indexed by the
-// region-local cell index, so the inner loop performs no map operations
-// and no per-search allocations beyond heap growth.
-func (r *router) astarDense(n bridge.Net, starts, targets map[geom.Point]bool, region geom.Box, h func(geom.Point) float64, maxExp int) geom.Path {
-	ci := newCellIndexer(region)
-	s := scratchPool.Get().(*scratch)
-	defer scratchPool.Put(s)
-	s.reset(ci.volume())
-	open := &s.open
-	for _, c := range sortedStarts(starts, region) {
-		s.setG(ci.index(c), 0, -1)
-		open.PushItem(pqItem{cell: c, g: 0, f: h(c)})
-	}
-	expansions := 0
-	for open.Len() > 0 {
-		cur := heap.Pop(open).(pqItem)
-		curIdx := ci.index(cur.cell)
-		if cur.g > s.g[curIdx] {
-			continue // stale entry
-		}
-		if targets[cur.cell] {
-			// Reconstruct by walking the parent indices (-1 marks a start).
-			var path geom.Path
-			for i := int32(curIdx); i >= 0; i = s.parent[i] {
-				path = append(path, ci.point(int(i)))
-			}
-			return path.Reverse()
-		}
-		expansions++
-		if expansions > maxExp {
-			return nil
-		}
-		if expansions%cancelCheckExpansions == 0 && r.searchCanceled() {
-			return nil
-		}
-		for _, d := range geom.Dirs6 {
-			next := cur.cell.Step(d)
-			if !region.Contains(next) {
-				continue
-			}
-			// Targets are enterable even when occupied by a friend path.
-			if !targets[next] && r.blocked(n, next) {
-				continue
-			}
-			ng := cur.g + 1 + r.opts.HistoryWeight*r.grid.histAt(next)
-			ni := ci.index(next)
-			if s.seen(ni) && ng >= s.g[ni] {
-				continue
-			}
-			s.setG(ni, ng, int32(curIdx))
-			open.PushItem(pqItem{cell: next, g: ng, f: ng + h(next)})
-		}
-	}
-	return nil
-}
-
-// astarSparse is the map-based fallback for regions whose volume exceeds
-// the dense scratch limit; same algorithm, same expansion order.
-func (r *router) astarSparse(n bridge.Net, starts, targets map[geom.Point]bool, region geom.Box, h func(geom.Point) float64, maxExp int) geom.Path {
-	open := &pq{}
-	gScore := map[geom.Point]float64{}
-	parent := map[geom.Point]geom.Point{}
-	for _, c := range sortedStarts(starts, region) {
-		gScore[c] = 0
-		open.PushItem(pqItem{cell: c, g: 0, f: h(c)})
-	}
-	expansions := 0
-	for open.Len() > 0 {
-		cur := heap.Pop(open).(pqItem)
-		if cur.g > gScore[cur.cell] {
-			continue // stale entry
-		}
-		if targets[cur.cell] {
-			// Reconstruct.
-			var path geom.Path
-			c := cur.cell
-			for {
-				path = append(path, c)
-				p, ok := parent[c]
-				if !ok {
-					break
-				}
-				c = p
-			}
-			return path.Reverse()
-		}
-		expansions++
-		if expansions > maxExp {
-			return nil
-		}
-		if expansions%cancelCheckExpansions == 0 && r.searchCanceled() {
-			return nil
-		}
-		for _, d := range geom.Dirs6 {
-			next := cur.cell.Step(d)
-			if !region.Contains(next) {
-				continue
-			}
-			// Targets are enterable even when occupied by a friend path.
-			if !targets[next] && r.blocked(n, next) {
-				continue
-			}
-			ng := cur.g + 1 + r.opts.HistoryWeight*r.grid.histAt(next)
-			if old, seen := gScore[next]; seen && ng >= old {
-				continue
-			}
-			gScore[next] = ng
-			parent[next] = cur.cell
-			open.PushItem(pqItem{cell: next, g: ng, f: ng + h(next)})
-		}
-	}
-	return nil
 }
 
 // finish records routes and computes the final bounds. The history
@@ -1026,10 +1216,11 @@ func (r *router) finish() {
 // shared friend cells (path endpoints). When the result carries PinCells,
 // it additionally checks that every path terminal is anchored: at the
 // net's own pin cell, or on the committed path of a friend net sharing
-// that pin (the Fig. 19 deformation). A result with unrouted nets fails
-// with an error wrapping faults.ErrUnroutable; a degraded (fallback-
-// routed) result fails with an error wrapping faults.ErrDegraded, so a
-// degraded routing can never verify silently.
+// that pin (the Fig. 19 deformation); Steiner results are instead checked
+// by group connectivity (see verifyGroups). A result with unrouted nets
+// fails with an error wrapping faults.ErrUnroutable; a degraded
+// (fallback-routed) result fails with an error wrapping
+// faults.ErrDegraded, so a degraded routing can never verify silently.
 func Verify(p *place.Placement, res *Result) error {
 	if err := VerifyStructure(p, res); err != nil {
 		return err
@@ -1046,18 +1237,22 @@ func Verify(p *place.Placement, res *Result) error {
 
 // VerifyStructure is Verify without the strictness conditions: it checks
 // path connectivity, obstacle freedom, friend-cell sharing and terminal
-// anchoring of whatever was routed, but accepts results with unrouted or
-// fallback-routed nets. Degradation-tolerant verifiers (the unbridged
-// ablation differential in internal/check) use it to confirm a degraded
-// routing is still structurally sound.
+// anchoring (or Steiner group connectivity) of whatever was routed, but
+// accepts results with unrouted or fallback-routed nets. Degradation-
+// tolerant verifiers (the unbridged ablation differential in
+// internal/check) use it to confirm a degraded routing is still
+// structurally sound.
 func VerifyStructure(p *place.Placement, res *Result) error {
 	if err := verifyStructure(p, res); err != nil {
 		return err
 	}
-	if res.PinCells != nil {
-		return verifyTerminals(p, res)
+	if res.PinCells == nil {
+		return nil
 	}
-	return nil
+	if res.Steiner {
+		return verifyGroups(p, res)
+	}
+	return verifyTerminals(p, res)
 }
 
 // verifyStructure runs the structural path checks shared by strict and

@@ -1,0 +1,382 @@
+package route
+
+// steiner.go routes friend-net groups as multi-terminal Steiner nets
+// (Options.Steiner): a friend group — a connected component of nets
+// sharing pins — is routed by approximate nearest-terminal merging on the
+// grid instead of as sequential two-pin nets. A growing tree starts at
+// one terminal; each round the unconnected terminal nearest the tree (by
+// bounding-box distance, with deterministic tie-breaks) is connected by
+// an A* search targeting every tree cell, and the found path is assigned
+// to one unrouted member net. Verification switches from per-terminal
+// anchoring to group connectivity: every routed member's pin pair must be
+// connected through the union of the group's paths. A group either routes
+// completely or is handed member-by-member to the regular negotiation
+// loop, so partial trees never commit.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bridge"
+	"repro/internal/geom"
+	"repro/internal/place"
+)
+
+// steinerGroup is one friend-net group: the member net indices and the
+// distinct pins they touch, both ascending.
+type steinerGroup struct {
+	nets []int
+	pins []int
+}
+
+// friendGroups returns the friend-net groups with at least two member
+// nets, ordered by their smallest member net index. Groups are the
+// connected components of the pin-sharing graph (pins are vertices, nets
+// are edges), computed with a union-find over the netlist in index order.
+func friendGroups(nets []bridge.Net) []steinerGroup {
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(p int) int {
+		if parent[p] == p {
+			return p
+		}
+		root := find(parent[p])
+		parent[p] = root
+		return root
+	}
+	for _, n := range nets {
+		for _, p := range []int{n.PinA, n.PinB} {
+			if _, ok := parent[p]; !ok {
+				parent[p] = p
+			}
+		}
+		ra, rb := find(n.PinA), find(n.PinB)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	byRoot := map[int]*steinerGroup{}
+	for i, n := range nets {
+		root := find(n.PinA)
+		g, ok := byRoot[root]
+		if !ok {
+			g = &steinerGroup{}
+			byRoot[root] = g
+		}
+		g.nets = append(g.nets, i)
+	}
+	var groups []steinerGroup
+	for _, g := range byRoot {
+		if len(g.nets) < 2 {
+			continue
+		}
+		pinSeen := map[int]bool{}
+		for _, idx := range g.nets {
+			for _, p := range []int{nets[idx].PinA, nets[idx].PinB} {
+				if !pinSeen[p] {
+					pinSeen[p] = true
+					g.pins = append(g.pins, p)
+				}
+			}
+		}
+		sort.Ints(g.pins)
+		groups = append(groups, *g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].nets[0] < groups[j].nets[0] })
+	return groups
+}
+
+// routeSteinerGroups routes every friend group as a multi-terminal net
+// and returns the set of net indices it handled (routed or failed) plus
+// the failed indices in ascending order. Failed groups are rolled back
+// completely — their members route individually through the normal
+// negotiation path.
+func (r *router) routeSteinerGroups() (grouped map[int]bool, failed []int) {
+	grouped = map[int]bool{}
+	for _, g := range friendGroups(r.nets) {
+		for _, idx := range g.nets {
+			grouped[idx] = true
+		}
+		if r.checkCtx() {
+			failed = append(failed, g.nets...)
+			continue
+		}
+		if r.routeGroup(g, r.opts.InitialMargin) {
+			r.result.FirstPassRouted += len(g.nets)
+		} else {
+			failed = append(failed, g.nets...)
+		}
+	}
+	sort.Ints(failed)
+	return grouped, failed
+}
+
+// routeGroup routes one friend group by nearest-terminal merging inside
+// the group region (the pins' bounding box expanded by margin). On
+// success every member net has a committed path and the union of those
+// paths is a connected tree touching every group pin; on failure all
+// partial commits are rolled back and false is returned. Deterministic:
+// the seed terminal is the cellLess-smallest pin cell, each round
+// connects the unconnected terminal with the smallest (box distance to
+// the tree's bounding box, cellLess, pin ID) key, and found paths are
+// assigned to the lowest-index eligible unrouted member.
+func (r *router) routeGroup(g steinerGroup, margin int) bool {
+	cells := make([]geom.Point, len(g.pins))
+	region := geom.CellBox(r.pinCell[g.pins[0]])
+	for i, p := range g.pins {
+		cells[i] = r.pinCell[p]
+		region = region.UnionPoint(cells[i])
+	}
+	region = region.Expand(margin).Intersect(r.world)
+
+	// The growing tree, as a cellLess-sorted target list.
+	seed := 0
+	for i := range g.pins {
+		if cellLess(cells[i], cells[seed]) {
+			seed = i
+		}
+	}
+	connected := make([]bool, len(g.pins))
+	connected[seed] = true
+	tree := []geom.Point{cells[seed]}
+	tbox := geom.CellBox(cells[seed])
+	routed := map[int]bool{}
+
+	rollback := func() bool {
+		for id := range routed {
+			r.uncommit(id)
+		}
+		return false
+	}
+	for remaining := len(g.pins) - 1; remaining > 0; remaining-- {
+		if r.checkCtx() {
+			return rollback()
+		}
+		// Nearest unconnected terminal, approximated by distance to the
+		// tree's bounding box.
+		join := -1
+		var joinD float64
+		for i := range g.pins {
+			if connected[i] {
+				continue
+			}
+			d := boxDistance(cells[i], tbox)
+			if join < 0 || d < joinD ||
+				(d == joinD && cellLess(cells[i], cells[join])) {
+				join, joinD = i, d
+			}
+		}
+		idx := r.groupCarrier(g, g.pins[join], routed)
+		n := r.nets[idx]
+		ep := &netEndpoints{
+			starts:  []geom.Point{cells[join]},
+			targets: tree,
+			sbox:    geom.CellBox(cells[join]),
+			tbox:    tbox,
+		}
+		t0 := r.tick()
+		path := r.astar(n, ep, region)
+		r.result.Stats.Search += r.tick() - t0
+		r.result.Stats.Searches++
+		if path == nil {
+			return rollback()
+		}
+		r.commit(n, path)
+		routed[idx] = true
+		connected[join] = true
+		// Junction cells may repeat in the target list; markTarget is
+		// idempotent, so no dedup is needed.
+		tree = append(tree, path...)
+		tbox = tbox.Union(path.Bounds())
+	}
+	// Leftover members (cycle edges of the pin graph) ride the tree with
+	// a degenerate single-cell path at their first pin, which is already
+	// a tree cell.
+	for _, idx := range g.nets {
+		if routed[idx] {
+			continue
+		}
+		r.commit(r.nets[idx], geom.Path{r.pinCell[r.nets[idx].PinA]})
+		routed[idx] = true
+	}
+	return true
+}
+
+// groupCarrier picks the member net that will own the path connecting pin
+// to the tree: the lowest-index unrouted member incident to the pin, or
+// failing that the lowest-index unrouted member anywhere in the group (a
+// pin's incident nets can all be consumed carrying other joins; the group
+// has at least pins-1 members, so a spare always exists).
+func (r *router) groupCarrier(g steinerGroup, pin int, routed map[int]bool) int {
+	spare := -1
+	for _, idx := range g.nets {
+		if routed[idx] {
+			continue
+		}
+		if n := r.nets[idx]; n.PinA == pin || n.PinB == pin {
+			return idx
+		}
+		if spare < 0 {
+			spare = idx
+		}
+	}
+	return spare
+}
+
+// brokenGroups returns the friend groups whose committed paths no longer
+// connect every routed member's pin pair (negotiation rip-ups can remove
+// tree segments), ordered by smallest member net index.
+func (r *router) brokenGroups() []steinerGroup {
+	var bad []steinerGroup
+	for _, g := range friendGroups(r.nets) {
+		if !r.groupConnected(g) {
+			bad = append(bad, g)
+		}
+	}
+	return bad
+}
+
+// groupConnected reports whether every routed member net of g has its two
+// pin cells connected through the union of the group's committed paths.
+func (r *router) groupConnected(g steinerGroup) bool {
+	var cells []geom.Point
+	for _, idx := range g.nets {
+		cells = append(cells, r.routes[idx]...)
+	}
+	comp := components(cells)
+	for _, idx := range g.nets {
+		if _, ok := r.routes[idx]; !ok {
+			continue
+		}
+		n := r.nets[idx]
+		ca, oka := comp[r.pinCell[n.PinA]]
+		cb, okb := comp[r.pinCell[n.PinB]]
+		if !oka || !okb || ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// components labels the 6-connected components of a cell set; the label
+// values are arbitrary but equal exactly for connected cells.
+func components(cells []geom.Point) map[geom.Point]int {
+	comp := make(map[geom.Point]int, len(cells))
+	for _, c := range cells {
+		comp[c] = -1
+	}
+	label := 0
+	var stack []geom.Point
+	for _, c := range cells {
+		if comp[c] != -1 {
+			continue
+		}
+		comp[c] = label
+		stack = append(stack[:0], c)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, d := range geom.Dirs6 {
+				next := cur.Step(d)
+				if l, ok := comp[next]; ok && l == -1 {
+					comp[next] = label
+					stack = append(stack, next)
+				}
+			}
+		}
+		label++
+	}
+	return comp
+}
+
+// repairGroups is the Steiner-mode analogue of repairDangling: groups
+// whose trees were broken by negotiation rip-ups are uncommitted wholesale
+// and re-routed as fresh multi-terminal nets (with the margin widened each
+// pass); members of groups that cannot be restored are returned for the
+// degradation path.
+func (r *router) repairGroups(margin []int) []int {
+	var lost []int
+	maxPass := len(r.nets) + 1
+	for pass := 0; pass < maxPass; pass++ {
+		if r.checkCtx() {
+			return lost
+		}
+		bad := r.brokenGroups()
+		if len(bad) == 0 {
+			return lost
+		}
+		for _, g := range bad {
+			for _, idx := range g.nets {
+				if _, ok := r.routes[idx]; ok {
+					r.uncommit(idx)
+				}
+			}
+			if pass == maxPass-1 || !r.routeGroup(g, r.opts.InitialMargin+(pass+1)*r.opts.ExpandStep) {
+				lost = append(lost, g.nets...)
+			}
+		}
+		if len(lost) > 0 {
+			// Unrestorable groups stay unrouted; their members are
+			// reported once.
+			return dedupInts(lost)
+		}
+	}
+	return lost
+}
+
+// verifyGroups enforces the Steiner-mode connectivity invariant on a
+// result: for every friend group, each routed member net's two pin cells
+// must be connected through the union of the group's committed paths (the
+// multi-terminal generalization of the Fig. 19 deformation — a braid may
+// terminate anywhere on its group's tree because the tree reaches its
+// pin). Singleton nets, which have no friends, are checked by the plain
+// terminal rule.
+func verifyGroups(p *place.Placement, res *Result) error {
+	netByIdx := make(map[int]bridge.Net, len(p.Nets))
+	for _, n := range p.Nets {
+		netByIdx[n.ID] = n
+	}
+	inGroup := map[int]bool{}
+	for _, g := range friendGroups(p.Nets) {
+		for _, idx := range g.nets {
+			inGroup[idx] = true
+		}
+		var cells []geom.Point
+		for _, idx := range g.nets {
+			cells = append(cells, res.Routes[idx]...)
+		}
+		comp := components(cells)
+		for _, idx := range g.nets {
+			if _, ok := res.Routes[idx]; !ok {
+				continue
+			}
+			n := netByIdx[idx]
+			ca, oka := comp[res.PinCells[n.PinA]]
+			cb, okb := comp[res.PinCells[n.PinB]]
+			if !oka || !okb || ca != cb {
+				return fmt.Errorf("route: steiner group of net %d: pins %d and %d not connected through the group's paths",
+					idx, n.PinA, n.PinB)
+			}
+		}
+	}
+	// Singletons still follow the two-pin terminal rule.
+	for id, path := range res.Routes {
+		if inGroup[id] {
+			continue
+		}
+		n, ok := netByIdx[id]
+		if !ok {
+			return fmt.Errorf("route: routed net %d not in the netlist", id)
+		}
+		head, tail := path[0], path[len(path)-1]
+		a, b := res.PinCells[n.PinA], res.PinCells[n.PinB]
+		if !(head == a && tail == b) && !(head == b && tail == a) {
+			return fmt.Errorf("route: net %d terminals %v..%v do not sit at its pin cells %v/%v",
+				id, head, tail, a, b)
+		}
+	}
+	return nil
+}

@@ -7,7 +7,10 @@
 //
 // The implementation follows Guttman's original R-tree with the quadratic
 // split heuristic. Entries are (geom.Box, ID) pairs; deletion is by exact
-// box + ID match or by ID sweep.
+// box + ID match (with a CondenseTree pass that dissolves underfull nodes
+// and re-inserts their entries, so the index can be maintained
+// incrementally through the router's rip-up rounds instead of rebuilt) or
+// by bulk ID sweep.
 package rtree
 
 import (
@@ -324,9 +327,11 @@ func intersectsExceptNode(n *node, w geom.Box, skip map[int]bool) bool {
 }
 
 // Delete removes one entry exactly matching (b, id) and returns whether one
-// was removed. Underfull nodes are tolerated (no re-insertion pass); search
-// correctness is unaffected, and rip-up deletes are rare relative to
-// searches, so the simpler scheme is a deliberate trade-off.
+// was removed. The tree is condensed afterward (Guttman's CondenseTree):
+// nodes left below the minimum fill are dissolved and their surviving
+// entries re-inserted, so a long interleaving of inserts and deletes — the
+// router's rip-up/re-route rounds — keeps query performance equivalent to a
+// tree rebuilt from scratch over the same entry set.
 func (t *Tree) Delete(b geom.Box, id int) bool {
 	leaf := findLeaf(t.root, b, id)
 	if leaf == nil {
@@ -336,13 +341,67 @@ func (t *Tree) Delete(b geom.Box, id int) bool {
 		if e.Box == b && e.ID == id {
 			leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
 			t.size--
-			for n := leaf; n != nil; n = n.parent {
-				n.recomputeBounds()
-			}
+			t.condense(leaf)
 			return true
 		}
 	}
 	return false
+}
+
+// underfull reports whether a non-root node is below the minimum fill.
+func (n *node) underfull() bool {
+	if n.leaf {
+		return len(n.entries) < minEntries
+	}
+	return len(n.children) < minEntries
+}
+
+// condense restores the tree invariants after a removal from leaf n:
+// walking toward the root, every underfull node is unlinked and its
+// surviving entries collected, surviving ancestors get their bounds
+// tightened, a root with a single internal child is shortened, and the
+// orphaned entries are re-inserted.
+func (t *Tree) condense(n *node) {
+	var orphans []Entry
+	for n.parent != nil {
+		p := n.parent
+		if n.underfull() {
+			for i, c := range p.children {
+				if c == n {
+					p.children = append(p.children[:i], p.children[i+1:]...)
+					break
+				}
+			}
+			orphans = collectEntries(n, orphans)
+		} else {
+			n.recomputeBounds()
+		}
+		n = p
+	}
+	t.root.recomputeBounds()
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.root.parent = nil
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &node{leaf: true}
+	}
+	// Orphans are still counted in size; Insert re-counts them.
+	t.size -= len(orphans)
+	for _, e := range orphans {
+		t.Insert(e.Box, e.ID)
+	}
+}
+
+// collectEntries appends every entry stored under n to dst.
+func collectEntries(n *node, dst []Entry) []Entry {
+	if n.leaf {
+		return append(dst, n.entries...)
+	}
+	for _, c := range n.children {
+		dst = collectEntries(c, dst)
+	}
+	return dst
 }
 
 func findLeaf(n *node, b geom.Box, id int) *node {
@@ -366,7 +425,10 @@ func findLeaf(n *node, b geom.Box, id int) *node {
 }
 
 // DeleteAll removes every entry with the given ID and returns the number
-// removed. Used when ripping up a routed net.
+// removed. It is a bulk sweep: bounds are tightened but underfull nodes
+// are tolerated (queries stay correct, occupancy may drop below the
+// minimum fill); callers that interleave many deletes with searches
+// should prefer per-entry Delete, which condenses the tree.
 func (t *Tree) DeleteAll(id int) int {
 	removed := 0
 	var walk func(n *node)

@@ -243,6 +243,129 @@ func TestQuickInsertFindable(t *testing.T) {
 	}
 }
 
+// checkInvariants walks the whole tree and asserts the structural R-tree
+// invariants Delete's condense pass must preserve: every non-root node
+// meets the minimum fill, every node's bounds exactly cover its payload,
+// and parent pointers are consistent.
+func checkInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n != tr.root && n.underfull() {
+			t.Fatalf("non-root node underfull: leaf=%v entries=%d children=%d",
+				n.leaf, len(n.entries), len(n.children))
+		}
+		var want geom.Box
+		if n.leaf {
+			for _, e := range n.entries {
+				want = want.Union(e.Box)
+			}
+		} else {
+			for _, c := range n.children {
+				if c.parent != n {
+					t.Fatal("child with stale parent pointer")
+				}
+				want = want.Union(c.bounds)
+				walk(c)
+			}
+		}
+		if n.bounds != want {
+			t.Fatalf("node bounds %v, recomputed %v", n.bounds, want)
+		}
+	}
+	walk(tr.root)
+}
+
+// TestIncrementalMatchesRebuild interleaves inserts and deletes and
+// periodically cross-checks window queries against a tree rebuilt from
+// scratch over the same live set — the parity that lets the router
+// maintain its net index incrementally through rip-up rounds.
+func TestIncrementalMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := New()
+	live := map[int]geom.Box{}
+	var liveIDs []int
+	next := 0
+	compare := func(step int) {
+		t.Helper()
+		fresh := New()
+		for _, id := range liveIDs {
+			fresh.Insert(live[id], id)
+		}
+		if tr.Len() != fresh.Len() {
+			t.Fatalf("step %d: len %d incremental vs %d rebuilt", step, tr.Len(), fresh.Len())
+		}
+		for trial := 0; trial < 20; trial++ {
+			w := box(rng.Intn(60)-5, rng.Intn(60)-5, rng.Intn(12)-2, 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(6))
+			got := map[int]int{}
+			for _, e := range tr.Search(w, nil) {
+				got[e.ID]++
+			}
+			want := map[int]int{}
+			for _, e := range fresh.Search(w, nil) {
+				want[e.ID]++
+			}
+			if len(got) != len(want) {
+				t.Fatalf("step %d window %v: %d ids incremental vs %d rebuilt", step, w, len(got), len(want))
+			}
+			for id, n := range want {
+				if got[id] != n {
+					t.Fatalf("step %d window %v: id %d seen %d times, want %d", step, w, id, got[id], n)
+				}
+			}
+		}
+	}
+	for step := 0; step < 1200; step++ {
+		if len(liveIDs) == 0 || rng.Intn(5) < 3 {
+			b := box(rng.Intn(50), rng.Intn(50), rng.Intn(10), 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(3))
+			tr.Insert(b, next)
+			live[next] = b
+			liveIDs = append(liveIDs, next)
+			next++
+		} else {
+			i := rng.Intn(len(liveIDs))
+			id := liveIDs[i]
+			if !tr.Delete(live[id], id) {
+				t.Fatalf("step %d: delete of live entry %d failed", step, id)
+			}
+			delete(live, id)
+			liveIDs[i] = liveIDs[len(liveIDs)-1]
+			liveIDs = liveIDs[:len(liveIDs)-1]
+		}
+		if step%150 == 0 {
+			compare(step)
+			checkInvariants(t, tr)
+		}
+	}
+	compare(1200)
+	checkInvariants(t, tr)
+}
+
+// TestDeleteCondensesToEmpty deletes every entry of a multi-level tree and
+// checks the tree shrinks back to a usable empty root with the fill
+// invariant held the whole way down.
+func TestDeleteCondensesToEmpty(t *testing.T) {
+	tr := New()
+	boxes := make([]geom.Box, 200)
+	for i := range boxes {
+		boxes[i] = box(i%20, i/20, 0, 2, 2, 1)
+		tr.Insert(boxes[i], i)
+	}
+	for i := range boxes {
+		if !tr.Delete(boxes[i], i) {
+			t.Fatalf("delete %d failed", i)
+		}
+		checkInvariants(t, tr)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len %d after deleting everything", tr.Len())
+	}
+	tr.Insert(box(1, 1, 1, 1, 1, 1), 0)
+	if got := tr.Search(box(0, 0, 0, 3, 3, 3), nil); len(got) != 1 {
+		t.Fatalf("tree unusable after draining: %v", got)
+	}
+}
+
 func BenchmarkInsert(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	tr := New()

@@ -15,18 +15,20 @@ import (
 // cacheKeyVersion tags the option-encoding layout hashed into CacheKey;
 // bump it whenever a semantic Options field is added or the encoding
 // changes so old addresses can never alias new configurations.
-const cacheKeyVersion = 1
+const cacheKeyVersion = 2
 
 // CanonicalOptions returns a copy of opts normalized for content
 // addressing: non-semantic fields are cleared (Hooks callbacks, the
-// route fault-injection hook, the Serial debugging toggle, which is
-// provably equivalent to the concurrent pass) and out-of-range values are
+// route fault-injection hook, the stage-timing Clock, the Serial
+// debugging toggle, which is provably equivalent to the batched pass) and
+// out-of-range values are
 // clamped exactly the way the pipeline clamps them, so two Options values
 // that compile identically canonicalize — and therefore hash — identically.
 func CanonicalOptions(opts Options) Options {
 	opts.Hooks = Hooks{}
 	opts.Route.FailNet = nil
 	opts.Route.Serial = false
+	opts.Route.Clock = nil
 	if opts.Retry.MaxAttempts < 1 {
 		opts.Retry.MaxAttempts = 1
 	}
@@ -109,6 +111,8 @@ func appendOptions(b []byte, o Options) []byte {
 	b = appendBool(b, o.Route.FriendNets)
 	b = appendI64(b, int64(o.Route.MaxExpansions))
 	b = appendBool(b, o.Route.Fallback)
+	b = appendBool(b, o.Route.Bidirectional)
+	b = appendBool(b, o.Route.Steiner)
 	return b
 }
 

@@ -34,6 +34,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"repro/internal/bridge"
 	"repro/internal/canonical"
@@ -294,8 +295,16 @@ func compileFrom(ctx context.Context, res *Result, opts Options) (*Result, error
 	}
 
 	err = runStage(res.Breakdown, metrics.StageRouting, StageRouting, opts.Hooks, func() error {
+		ropts := opts.Route
+		if ropts.Clock == nil {
+			// Inject a monotonic clock so the router can attribute time to
+			// its sub-stages without reading the wall clock itself (the
+			// route package is inside the detrand determinism scope).
+			start := time.Now()
+			ropts.Clock = func() time.Duration { return time.Since(start) }
+		}
 		var err error
-		res.Routing, err = route.RunContext(ctx, res.Placement, opts.Route)
+		res.Routing, err = route.RunContext(ctx, res.Placement, ropts)
 		if err != nil {
 			return err
 		}
