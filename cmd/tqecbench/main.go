@@ -8,6 +8,7 @@
 //	          [-iters N] [-seed S] [-no-ablations] [-timeout 10m]
 //	tqecbench -bench-out BENCH_<name>.json [-bench-iters N] [-bench-kernels]
 //	tqecbench -compare old.json new.json [-threshold 0.10] [-summary FILE]
+//	tqecbench -compare-kernels-only old.json new.json [-threshold 0.5]
 //
 // Tables: 1 (benchmark statistics), 2 (space-time volumes vs canonical and
 // [22]), 3 (conference-version ablation), 4 (dimensions), 5 (bridging
@@ -21,6 +22,9 @@
 // when any time metric regressed by more than -threshold; -summary
 // additionally appends a markdown delta table (routing rows first) to the
 // given file, which CI points at $GITHUB_STEP_SUMMARY.
+// -compare-kernels-only judges only the isolated testing.Benchmark kernel
+// ns/op numbers — the low-noise subset CI gates blockingly (the stage
+// wall-clock comparison stays advisory via -compare-warn).
 //
 // The default benchmark set holds the two smallest circuits; -full runs
 // all eight (the paper spends over an hour of workstation time there).
@@ -54,12 +58,13 @@ func main() {
 	benchKernels := flag.Bool("bench-kernels", false, "also measure the isolated place/route kernels for -bench-out")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json artifacts (old new); exit non-zero on regression")
 	compareWarn := flag.Bool("compare-warn", false, "with -compare, report regressions but exit zero (informational CI step)")
+	compareKernelsOnly := flag.Bool("compare-kernels-only", false, "compare only the isolated kernel ns/op measurements (the blocking CI gate)")
 	threshold := flag.Float64("threshold", bench.DefaultThreshold, "relative slowdown treated as a regression by -compare")
 	summary := flag.String("summary", "", "with -compare, append a markdown delta table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 
-	if *compare {
-		if err := runCompare(flag.Args(), *threshold, *compareWarn, *summary); err != nil {
+	if *compare || *compareKernelsOnly {
+		if err := runCompare(flag.Args(), *threshold, *compareWarn, *compareKernelsOnly, *summary); err != nil {
 			fatal(err)
 		}
 		return
@@ -204,9 +209,11 @@ func runBench(out, benchmarks string, full bool, iters int, seed int64, kernels 
 // unless warnOnly downgrades regressions to a printed warning —
 // CI compares freshly measured numbers on shared runners against the
 // committed workstation artifact, where absolute timings are advisory.
-// A non-empty summaryPath additionally gets a markdown delta table
-// appended (the Actions step-summary format).
-func runCompare(args []string, threshold float64, warnOnly bool, summaryPath string) error {
+// kernelsOnly restricts the comparison to the testing.Benchmark kernel
+// measurements, which are stable enough on shared runners to gate
+// blockingly. A non-empty summaryPath additionally gets a markdown delta
+// table appended (the Actions step-summary format).
+func runCompare(args []string, threshold float64, warnOnly, kernelsOnly bool, summaryPath string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("-compare needs exactly two arguments: old.json new.json")
 	}
@@ -218,7 +225,11 @@ func runCompare(args []string, threshold float64, warnOnly bool, summaryPath str
 	if err != nil {
 		return err
 	}
-	rep, err := bench.Compare(old, cur, threshold)
+	cmp := bench.Compare
+	if kernelsOnly {
+		cmp = bench.CompareKernels
+	}
+	rep, err := cmp(old, cur, threshold)
 	if err != nil {
 		return err
 	}

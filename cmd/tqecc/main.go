@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tqecc -bench 4gt10-v1_81 [-iters N] [-seed S] [-no-bridging]
+//	tqecc -bench 4gt10-v1_81 [-iters N] [-seed S] [-no-bridging] [-no-zx]
 //	      [-conference] [-timeout 30s] [-viz slices|csv|obj] [-o out.txt]
 //	tqecc -real circuit.real [...]
 //
@@ -31,6 +31,7 @@ func main() {
 	iters := flag.Int("iters", 0, "SA move budget (0 = auto)")
 	seed := flag.Int64("seed", 1, "random seed")
 	noBridging := flag.Bool("no-bridging", false, "disable iterative bridging (Table V ablation)")
+	noZX := flag.Bool("no-zx", false, "disable the ZX pre-compression pass (paper-faithful ablation)")
 	conference := flag.Bool("conference", false, "disable primal-group clustering (conference version [36])")
 	vizMode := flag.String("viz", "", "emit a layout rendering: slices, csv, svg or obj")
 	out := flag.String("o", "", "visualization output file (default stdout)")
@@ -53,6 +54,7 @@ func main() {
 	opts.Place.Iterations = *iters
 	opts.Place.Seed = *seed
 	opts.Bridging = !*noBridging
+	opts.ZX = !*noZX
 	opts.PrimalGroups = !*conference
 	if *noBridging {
 		// Unbridged netlists keep every dual segment and net and need

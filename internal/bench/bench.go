@@ -439,6 +439,14 @@ func Compare(old, cur *File, threshold float64) (*Report, error) {
 			judge(oc.Name+"/"+s.Name, s.Time.MinNS, ns.MinNS)
 		}
 	}
+	judgeKernels(rep, old, cur, judge)
+	sort.Strings(rep.Missing)
+	return rep, nil
+}
+
+// judgeKernels compares the kernel measurements shared by both artifacts
+// and records old-only kernels as missing.
+func judgeKernels(rep *Report, old, cur *File, judge func(metric string, oldNS, newNS int64)) {
 	curKernels := map[string]Kernel{}
 	for _, k := range cur.Kernels {
 		curKernels[k.Name] = k
@@ -451,6 +459,42 @@ func Compare(old, cur *File, threshold float64) (*Report, error) {
 		}
 		judge("kernel/"+ok_.Name, ok_.NSPerOp, nk.NSPerOp)
 	}
+}
+
+// CompareKernels judges only the isolated kernel measurements of new
+// against old, ignoring circuit totals and stage timings entirely. The
+// kernels are testing.Benchmark numbers — calibrated, allocation-stable
+// and far less runner-sensitive than wall-clock stage timings — so they
+// can carry a blocking CI floor while the stage comparison stays
+// advisory. An old artifact with no kernel measurements is an error: the
+// gate must never pass vacuously.
+func CompareKernels(old, cur *File, threshold float64) (*Report, error) {
+	if err := Validate(old); err != nil {
+		return nil, fmt.Errorf("bench: old artifact: %w", err)
+	}
+	if err := Validate(cur); err != nil {
+		return nil, fmt.Errorf("bench: new artifact: %w", err)
+	}
+	if len(old.Kernels) == 0 {
+		return nil, fmt.Errorf("bench: old artifact %q has no kernel measurements to gate on", old.Name)
+	}
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	rep := &Report{Threshold: threshold}
+	judgeKernels(rep, old, cur, func(metric string, oldNS, newNS int64) {
+		if oldNS <= 0 || newNS <= 0 {
+			return
+		}
+		ratio := float64(newNS) / float64(oldNS)
+		rep.Deltas = append(rep.Deltas, Delta{
+			Metric:     metric,
+			Old:        oldNS,
+			New:        newNS,
+			Ratio:      ratio,
+			Regression: ratio > 1+threshold,
+		})
+	})
 	sort.Strings(rep.Missing)
 	return rep, nil
 }

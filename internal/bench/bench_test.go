@@ -172,6 +172,74 @@ func TestCompareToleratesNoise(t *testing.T) {
 	}
 }
 
+// TestCompareKernelsJudgesOnlyKernels pins the blocking-gate semantics:
+// kernel slowdowns beyond the floor fail, stage and total slowdowns are
+// invisible to the kernels-only comparison, and an old artifact without
+// kernels refuses to gate at all.
+func TestCompareKernelsJudgesOnlyKernels(t *testing.T) {
+	old := stubFile(t, 2)
+	old.Kernels = []Kernel{
+		{Name: "zx/rewrite-extract", NSPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 100},
+		{Name: "place/sa-anneal", NSPerOp: 2000, AllocsPerOp: 10, BytesPerOp: 100},
+	}
+
+	// A huge circuit-time regression plus a tolerable kernel delta: the
+	// kernels-only gate must stay green.
+	cur := copyFile(old)
+	for i := range cur.Circuits {
+		c := &cur.Circuits[i]
+		c.Total.MinNS *= 10
+		c.Total.MeanNS = c.Total.MinNS
+		c.Total.MaxNS = c.Total.MinNS
+	}
+	cur.Kernels[0].NSPerOp = 1400 // 1.4x, inside the 1.5x floor
+	rep, err := CompareKernels(old, cur, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("kernels-only gate flagged non-kernel metrics: %+v", regs)
+	}
+	if len(rep.Deltas) != len(old.Kernels) {
+		t.Fatalf("want %d kernel deltas, got %+v", len(old.Kernels), rep.Deltas)
+	}
+	for _, d := range rep.Deltas {
+		if !strings.HasPrefix(d.Metric, "kernel/") {
+			t.Fatalf("non-kernel metric %q judged", d.Metric)
+		}
+	}
+
+	// A kernel past the floor must fail.
+	slow := copyFile(old)
+	slow.Kernels[1].NSPerOp = old.Kernels[1].NSPerOp * 2
+	rep, err = CompareKernels(old, slow, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "kernel/place/sa-anneal" {
+		t.Fatalf("2x kernel slowdown not flagged: %+v", regs)
+	}
+
+	// A dropped kernel is surfaced as missing coverage.
+	short := copyFile(old)
+	short.Kernels = short.Kernels[:1]
+	rep, err = CompareKernels(old, short, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Missing) != 1 || !strings.Contains(rep.Missing[0], "place/sa-anneal") {
+		t.Fatalf("dropped kernel not reported: %+v", rep.Missing)
+	}
+
+	// No kernels in the baseline: the gate must refuse, not pass vacuously.
+	bare := copyFile(old)
+	bare.Kernels = nil
+	if _, err := CompareKernels(bare, cur, 0.5); err == nil {
+		t.Fatal("kernel-less baseline accepted by the kernel gate")
+	}
+}
+
 // TestCompareReportsMissingMetrics pins that dropped coverage is
 // surfaced instead of silently passing.
 func TestCompareReportsMissingMetrics(t *testing.T) {

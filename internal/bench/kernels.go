@@ -15,6 +15,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/qc"
 	"repro/internal/route"
+	"repro/internal/zx"
 )
 
 // kernelBenchmark is the benchmark circuit the isolated kernel
@@ -46,6 +47,21 @@ func runKernels(ctx context.Context, opts Options) ([]Kernel, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	var zxErr error
+	zxRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := zx.Optimize(d.Circuit); err != nil {
+				zxErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if zxErr != nil {
+		return nil, fmt.Errorf("zx kernel: %w", zxErr)
+	}
+
 	ic, err := icm.FromDecomposed(d.Circuit)
 	if err != nil {
 		return nil, err
@@ -104,6 +120,12 @@ func runKernels(ctx context.Context, opts Options) ([]Kernel, error) {
 	}
 
 	return []Kernel{
+		{
+			Name:        "zx/rewrite-extract",
+			NSPerOp:     zxRes.NsPerOp(),
+			AllocsPerOp: zxRes.AllocsPerOp(),
+			BytesPerOp:  zxRes.AllocedBytesPerOp(),
+		},
 		{
 			Name:        "place/sa-anneal",
 			NSPerOp:     placeRes.NsPerOp(),

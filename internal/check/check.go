@@ -8,9 +8,10 @@
 // compression metrics reconcile with the geometry) — and cross-checks the
 // pipeline's determinism contracts differentially: multi-chain SA
 // placement against its sequential twin, concurrent routing against the
-// serial pass, cached compile bytes against a fresh compile, and bridged
-// against unbridged compilations (backed by state-vector simulation on
-// small circuits).
+// serial pass, cached compile bytes against a fresh compile, bridged
+// against unbridged compilations, and ZX-rewritten against unrewritten
+// compilations (both backed by state-vector simulation on small
+// circuits).
 //
 // The passes are pure observers: they never mutate the result under test.
 // cmd/tqecverify drives them from the command line, `make check` wires
@@ -185,10 +186,17 @@ func Result(ctx context.Context, res *tqec.Result, cfg Config) *Report {
 			detail = "sim verified"
 		}
 		add("diff-bridging", detail, err)
+		simmed, err = DiffZX(ctx, res, cfg.Opts, cfg.MaxSimQubits)
+		detail = "sim skipped"
+		if simmed {
+			detail = "sim verified"
+		}
+		add("diff-zx", detail, err)
 	} else {
 		rep.Passes = append(rep.Passes,
 			PassResult{Name: "diff-cache-bytes", Skipped: true, Detail: "no source circuit"},
-			PassResult{Name: "diff-bridging", Skipped: true, Detail: "no source circuit"})
+			PassResult{Name: "diff-bridging", Skipped: true, Detail: "no source circuit"},
+			PassResult{Name: "diff-zx", Skipped: true, Detail: "no source circuit"})
 	}
 	return rep
 }

@@ -54,7 +54,7 @@ func TestRunBenchmarkAllPasses(t *testing.T) {
 	}
 	want := []string{
 		"bridge-reconstructable", "placement-legal", "routing-legal", "volume-accounting",
-		"diff-chains", "diff-serial-routing", "diff-cache-bytes", "diff-bridging",
+		"diff-chains", "diff-serial-routing", "diff-cache-bytes", "diff-bridging", "diff-zx",
 	}
 	if len(rep.Passes) != len(want) {
 		t.Fatalf("got %d passes, want %d:\n%s", len(rep.Passes), len(want), rep)

@@ -267,3 +267,56 @@ func DiffBridging(ctx context.Context, res *tqec.Result, opts tqec.Options, maxS
 	}
 	return true, nil
 }
+
+// DiffZX cross-checks the ZX pre-compression pass against its ablation:
+// the same circuit is recompiled with Options.ZX flipped, the ablation
+// must satisfy every structural invariant, the ZX-on run's canonical
+// volume must never exceed the ZX-off run's (the pass's self-checking
+// fall-back contract), both decompositions must agree on qubit count, and
+// on circuits small enough for maxSimQubits the two decompositions are
+// verified unitarily equivalent on clean ancillas by state-vector
+// simulation. The returned flag reports whether the simulation ran.
+func DiffZX(ctx context.Context, res *tqec.Result, opts tqec.Options, maxSimQubits int) (bool, error) {
+	ablOpts := opts
+	ablOpts.ZX = !opts.ZX
+	abl, err := tqec.CompileContext(ctx, res.Circuit, ablOpts)
+	if err != nil {
+		return false, fmt.Errorf("zx ablation compile (ZX=%v): %w", ablOpts.ZX, err)
+	}
+	if err := BridgeReconstructable(abl); err != nil {
+		return false, fmt.Errorf("zx ablation: %w", err)
+	}
+	if err := PlacementLegal(abl); err != nil {
+		return false, fmt.Errorf("zx ablation: %w", err)
+	}
+	if err := RoutingStructurallySound(abl); err != nil {
+		return false, fmt.Errorf("zx ablation: %w", err)
+	}
+	if err := VolumeAccounting(abl); err != nil {
+		return false, fmt.Errorf("zx ablation: %w", err)
+	}
+	on, off := res, abl
+	if !opts.ZX {
+		on, off = abl, res
+	}
+	if on.CanonicalVolume > off.CanonicalVolume {
+		return false, fmt.Errorf("ZX-on canonical volume %d exceeds ZX-off %d",
+			on.CanonicalVolume, off.CanonicalVolume)
+	}
+	if a, b := on.Decomposed.NumQubits(), off.Decomposed.NumQubits(); a != b {
+		return false, fmt.Errorf("decomposed qubit count diverges: %d ZX-on vs %d ZX-off", a, b)
+	}
+
+	nq := on.Decomposed.NumQubits()
+	if maxSimQubits <= 0 || nq > maxSimQubits {
+		return false, nil
+	}
+	ok, err := sim.EquivalentOnCleanAncillas(nq, res.Circuit.NumQubits(), on.Decomposed, off.Decomposed)
+	if err != nil {
+		return false, fmt.Errorf("simulate: %w", err)
+	}
+	if !ok {
+		return true, fmt.Errorf("ZX-on and ZX-off decompositions of %q are not unitarily equivalent", res.Circuit.Name)
+	}
+	return true, nil
+}

@@ -8,9 +8,11 @@ import (
 	"time"
 )
 
-// Stage names used by the compression pipeline (Table VI's columns).
+// Stage names used by the compression pipeline (Table VI's columns, plus
+// the ZX pre-compression stage added on top of the paper's flow).
 const (
 	StageOther     = "other"
+	StageZX        = "zx rewrite"
 	StageBridging  = "iterative bridging"
 	StagePlacement = "module placement"
 	StageRouting   = "dual-defect net routing"
@@ -23,6 +25,10 @@ const (
 	CounterUnroutedNets     = "unrouted nets"
 	CounterDegradations     = "degraded stages"
 	CounterRecoveredPanics  = "recovered panics"
+	CounterZXGatesBefore    = "zx gates before"
+	CounterZXGatesAfter     = "zx gates after"
+	CounterZXRewrites       = "zx rewrites"
+	CounterZXFallbacks      = "zx fallbacks"
 )
 
 // Breakdown accumulates wall-clock time per pipeline stage plus event

@@ -39,6 +39,9 @@ type CompileOptions struct {
 	Chains int `json:"chains,omitempty"`
 	// NoBridging disables iterative bridging (the Table V ablation).
 	NoBridging bool `json:"no_bridging,omitempty"`
+	// NoZX disables the ZX-calculus pre-compression pass (the
+	// paper-faithful ablation).
+	NoZX bool `json:"no_zx,omitempty"`
 	// Conference disables primal-group clustering (the conference
 	// version [36]).
 	Conference bool `json:"conference,omitempty"`
@@ -167,6 +170,7 @@ func requestOptions(o CompileOptions) tqec.Options {
 	opts.Place.Iterations = o.Iterations
 	opts.Place.Chains = o.Chains
 	opts.Bridging = !o.NoBridging
+	opts.ZX = !o.NoZX
 	opts.PrimalGroups = !o.Conference
 	opts.NoBoxes = o.NoBoxes
 	opts.StrictRouting = o.StrictRouting

@@ -1,0 +1,120 @@
+package zx
+
+import (
+	"fmt"
+
+	"repro/internal/qc"
+)
+
+// zPhaseUnits maps a decomposed diagonal gate kind to its Z-spider phase in
+// π/4 units, or -1 when the kind is not a Z-phase gate.
+func zPhaseUnits(k qc.GateKind) int {
+	switch k {
+	case qc.GateT:
+		return 1
+	case qc.GateP:
+		return 2
+	case qc.GateZ:
+		return 4
+	case qc.GatePdag:
+		return 6
+	case qc.GateTdag:
+		return 7
+	}
+	return -1
+}
+
+// xPhaseUnits maps a decomposed X-basis gate kind to its X-spider phase in
+// π/4 units, or -1 when the kind is not an X-phase gate.
+func xPhaseUnits(k qc.GateKind) int {
+	switch k {
+	case qc.GateV:
+		return 2
+	case qc.GateNOT:
+		return 4
+	case qc.GateVdag:
+		return 6
+	}
+	return -1
+}
+
+// fromCircuit translates a decomposed circuit ({CNOT, P, P†, V, V†, T, T†,
+// NOT, Z}, no controls outside CNOT) into a ZX diagram and normalizes it to
+// graph-like form: only Z-spiders remain, connected among themselves by
+// plain or Hadamard edges with no parallels or self-loops.
+func fromCircuit(c *qc.Circuit) (*diagram, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("zx: invalid circuit: %w", err)
+	}
+	d := newDiagram(c.NumQubits())
+	// last[q] is the most recent vertex on wire q; wires close onto the
+	// output boundaries at the end.
+	last := make([]int, c.NumQubits())
+	copy(last, d.ins)
+	app := func(q, v int) error {
+		if err := d.connect(last[q], v, ePlain); err != nil {
+			return err
+		}
+		last[q] = v
+		return nil
+	}
+	for i, g := range c.Gates {
+		if len(g.Controls) > 0 && g.Kind != qc.GateCNOT {
+			return nil, fmt.Errorf("zx: gate %d (%v): controlled gates other than CNOT must be decomposed first", i, g.Kind)
+		}
+		switch {
+		case g.Kind == qc.GateCNOT:
+			ctl := d.newVertex(vZ, 0, -1)
+			tgt := d.newVertex(vX, 0, -1)
+			if err := app(g.Controls[0], ctl); err != nil {
+				return nil, err
+			}
+			if err := app(g.Targets[0], tgt); err != nil {
+				return nil, err
+			}
+			if err := d.connect(ctl, tgt, ePlain); err != nil {
+				return nil, err
+			}
+		case zPhaseUnits(g.Kind) >= 0:
+			v := d.newVertex(vZ, zPhaseUnits(g.Kind), -1)
+			if err := app(g.Targets[0], v); err != nil {
+				return nil, err
+			}
+		case xPhaseUnits(g.Kind) >= 0:
+			v := d.newVertex(vX, xPhaseUnits(g.Kind), -1)
+			if err := app(g.Targets[0], v); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("zx: gate %d: kind %v is not in the decomposed gate set", i, g.Kind)
+		}
+	}
+	for q := 0; q < c.NumQubits(); q++ {
+		if err := d.connect(last[q], d.outs[q], ePlain); err != nil {
+			return nil, err
+		}
+	}
+	d.toGraphLike()
+	return d, nil
+}
+
+// toGraphLike applies the color-change rule to every X-spider: the spider
+// becomes a Z-spider and each incident edge toggles between plain and
+// Hadamard. An edge between two X-spiders toggles twice — once per
+// endpoint conversion — restoring its original type, which is exactly the
+// Hadamard-conjugation bookkeeping the rule demands.
+func (d *diagram) toGraphLike() {
+	for v := range d.kinds {
+		if d.kinds[v] != vX {
+			continue
+		}
+		d.kinds[v] = vZ
+		for _, n := range d.neighbors(v) {
+			if d.edge(v, n) == ePlain {
+				d.setEdge(v, n, eHada)
+			} else {
+				d.setEdge(v, n, ePlain)
+			}
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package zx
+
+import "fmt"
+
+// Circuit extraction from a simplified graph-like diagram, following the
+// frontier/Gaussian-elimination scheme of Backens et al. ("There and back
+// again: a circuit extraction tale"). The extractor walks from the
+// outputs toward the inputs keeping one frontier spider per live wire:
+// frontier phases leave as Z-phase gates, Hadamard edges between frontier
+// spiders leave as CZ gates, and GF(2) row reduction of the
+// frontier-to-neighbor biadjacency matrix leaves as CNOT gates, after
+// which rows with a single remaining neighbor advance the frontier past
+// one spider (one Hadamard gate each). Whatever remains at the end is a
+// wire permutation, emitted as swaps. Gates are collected in reverse
+// circuit order and reversed once at the end.
+//
+// Circuit-derived diagrams have gflow and the rewrite rules preserve it,
+// so a round with no advanceable row should not happen; if it does (or
+// any structural invariant breaks), extraction returns an error and the
+// caller falls back to the unrewritten circuit.
+
+// eop enumerates the gate alphabet the extractor emits.
+type eop uint8
+
+const (
+	opZPhase eop = iota // phase gate Z^(phase/4) on wire a
+	opCZ                // controlled-Z between wires a and b
+	opCNOT              // CNOT, control a, target b
+	opH                 // Hadamard on wire a
+	opSwap              // wire swap between a and b
+)
+
+// egate is one extracted gate; phase is in π/4 units and only meaningful
+// for opZPhase.
+type egate struct {
+	op    eop
+	a, b  int
+	phase int
+}
+
+// extractor carries the per-wire state of one extraction run.
+type extractor struct {
+	d        *diagram
+	frontier []int  // frontier vertex per qubit, -1 once finished
+	finished []bool // wire fully extracted
+	wireIn   []int  // finished wires: input qubit feeding this output
+	rev      []egate
+}
+
+// extract converts a simplified diagram into a gate list in circuit
+// order. The diagram is consumed.
+func extract(d *diagram) ([]egate, error) {
+	n := len(d.outs)
+	ex := &extractor{
+		d:        d,
+		frontier: make([]int, n),
+		finished: make([]bool, n),
+		wireIn:   make([]int, n),
+	}
+	for q := range ex.wireIn {
+		ex.wireIn[q] = -1
+		ex.frontier[q] = -1
+	}
+	if err := ex.normalize(); err != nil {
+		return nil, err
+	}
+	for {
+		active := ex.activeWires()
+		if len(active) == 0 {
+			break
+		}
+		ex.emitPhases(active)
+		if err := ex.emitCZs(active); err != nil {
+			return nil, err
+		}
+		progress, err := ex.eliminateAndAdvance(active)
+		if err != nil {
+			return nil, err
+		}
+		if !progress {
+			return nil, fmt.Errorf("zx: extraction stuck with %d live wire(s)", len(active))
+		}
+	}
+	ex.emitPermutation()
+	// Reverse into circuit order.
+	out := make([]egate, len(ex.rev))
+	for i, g := range ex.rev {
+		out[len(out)-1-i] = g
+	}
+	return out, nil
+}
+
+// normalize massages the simplified diagram into the shape the main loop
+// assumes: every spider-spider and input-spider edge is a Hadamard edge
+// (plain edges gain an interposed phase-0 spider, which is the inverse of
+// identity removal), every output connects to its own frontier spider by
+// a plain edge (an output Hadamard leaves as an H gate; direct
+// input-output wires are recorded for the final permutation), and no two
+// wires share a frontier spider.
+func (ex *extractor) normalize() error {
+	d := ex.d
+	// Spider-spider plain edges -> H, dummy, H. The vertex range is
+	// snapshotted by len so freshly inserted spiders (all-Hadamard by
+	// construction) are not revisited.
+	nv := len(d.kinds)
+	for u := 0; u < nv; u++ {
+		if d.kinds[u] != vZ {
+			continue
+		}
+		for _, m := range d.neighbors(u) {
+			if m < u || m >= nv || d.kinds[m] != vZ || d.edge(u, m) != ePlain {
+				continue
+			}
+			s := d.newVertex(vZ, 0, -1)
+			d.delEdge(u, m)
+			d.setEdge(u, s, eHada)
+			d.setEdge(s, m, eHada)
+		}
+	}
+	// Outputs.
+	for q := 0; q < len(d.outs); q++ {
+		o := d.outs[q]
+		if d.degree(o) != 1 {
+			return fmt.Errorf("zx: output %d has degree %d", q, d.degree(o))
+		}
+		w := d.neighbors(o)[0]
+		k := d.edge(o, w)
+		if d.kinds[w] == vIn {
+			if k == eHada {
+				ex.rev = append(ex.rev, egate{op: opH, a: q})
+			}
+			ex.wireIn[q] = d.qubits[w]
+			ex.finished[q] = true
+			d.removeVertex(o)
+			d.removeVertex(w)
+			continue
+		}
+		if d.kinds[w] != vZ {
+			return fmt.Errorf("zx: output %d connects to non-spider vertex %d", q, w)
+		}
+		if k == eHada {
+			ex.rev = append(ex.rev, egate{op: opH, a: q})
+			d.setEdge(o, w, ePlain)
+		}
+		ex.frontier[q] = w
+	}
+	// De-duplicate shared frontier spiders by splicing in a dummy pair
+	// (plain, H, H composes back to the original plain wire).
+	seen := map[int]bool{}
+	for q := 0; q < len(d.outs); q++ {
+		w := ex.frontier[q]
+		if w < 0 {
+			continue
+		}
+		if !seen[w] {
+			seen[w] = true
+			continue
+		}
+		s1 := d.newVertex(vZ, 0, -1)
+		s2 := d.newVertex(vZ, 0, -1)
+		d.delEdge(d.outs[q], w)
+		d.setEdge(d.outs[q], s1, ePlain)
+		d.setEdge(s1, s2, eHada)
+		d.setEdge(s2, w, eHada)
+		ex.frontier[q] = s1
+	}
+	// Input-spider plain edges -> H, dummy, H, so the elimination matrix
+	// (which only sees Hadamard edges) covers inputs uniformly.
+	for p := 0; p < len(d.ins); p++ {
+		in := d.ins[p]
+		if !d.alive(in) {
+			continue
+		}
+		if d.degree(in) != 1 {
+			return fmt.Errorf("zx: input %d has degree %d", p, d.degree(in))
+		}
+		x := d.neighbors(in)[0]
+		if d.kinds[x] != vZ {
+			return fmt.Errorf("zx: input %d connects to non-spider vertex %d", p, x)
+		}
+		if d.edge(in, x) == ePlain {
+			s := d.newVertex(vZ, 0, -1)
+			d.delEdge(in, x)
+			d.setEdge(in, s, eHada)
+			d.setEdge(s, x, eHada)
+		}
+	}
+	return nil
+}
+
+// activeWires returns the unfinished qubit indices in ascending order.
+func (ex *extractor) activeWires() []int {
+	var qs []int
+	for q, done := range ex.finished {
+		if !done {
+			qs = append(qs, q)
+		}
+	}
+	return qs
+}
+
+// emitPhases moves every frontier spider's phase out as a Z-phase gate.
+func (ex *extractor) emitPhases(active []int) {
+	for _, q := range active {
+		v := ex.frontier[q]
+		if ph := ex.d.phases[v]; ph != 0 {
+			ex.rev = append(ex.rev, egate{op: opZPhase, a: q, phase: ph})
+			ex.d.phases[v] = 0
+		}
+	}
+}
+
+// emitCZs removes Hadamard edges between frontier spiders as CZ gates.
+func (ex *extractor) emitCZs(active []int) error {
+	d := ex.d
+	for i := 0; i < len(active); i++ {
+		for j := i + 1; j < len(active); j++ {
+			u, v := ex.frontier[active[i]], ex.frontier[active[j]]
+			switch d.edge(u, v) {
+			case eNone:
+			case eHada:
+				ex.rev = append(ex.rev, egate{op: opCZ, a: active[i], b: active[j]})
+				d.delEdge(u, v)
+			default:
+				return fmt.Errorf("zx: plain edge between frontier spiders %d and %d", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// eliminateAndAdvance builds the biadjacency matrix of frontier spiders
+// versus their non-output neighbors, fully row-reduces it over GF(2)
+// (each row operation leaves as a CNOT and is mirrored onto the diagram),
+// then advances every row left with a single neighbor: past a spider
+// (one H gate), or onto a free input (closing the wire). It reports
+// whether any wire advanced or closed.
+func (ex *extractor) eliminateAndAdvance(active []int) (bool, error) {
+	d := ex.d
+	// Columns: all non-output neighbors of the frontier, ascending.
+	colSet := map[int]bool{}
+	for _, q := range active {
+		for _, n := range d.neighbors(ex.frontier[q]) {
+			if d.kinds[n] != vOut {
+				colSet[n] = true
+			}
+		}
+	}
+	cols := make([]int, 0, len(colSet))
+	for c := range colSet {
+		cols = append(cols, c)
+	}
+	insertionSort(cols)
+	m := make([][]bool, len(active))
+	for i, q := range active {
+		m[i] = make([]bool, len(cols))
+		for j, c := range cols {
+			m[i][j] = d.edge(ex.frontier[q], c) != eNone
+		}
+	}
+	// addRow: row i ^= row j; in diagram terms the frontier spider of row
+	// i symmetric-differences its neighborhood with row j's, which peels
+	// a CNOT with control on row i's wire and target on row j's off the
+	// output side (convention verified against the simulator in
+	// zx_test.go).
+	addRow := func(i, j int) {
+		for c, set := range m[j] {
+			if set {
+				d.toggleHada(ex.frontier[active[i]], cols[c])
+				m[i][c] = !m[i][c]
+			}
+		}
+		ex.rev = append(ex.rev, egate{op: opCNOT, a: active[i], b: active[j]})
+	}
+	r := 0
+	for c := 0; c < len(cols) && r < len(active); c++ {
+		pivot := -1
+		for i := r; i < len(active); i++ {
+			if m[i][c] {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		if pivot != r {
+			addRow(r, pivot) // swap-free: fold the pivot row upward
+		}
+		for i := 0; i < len(active); i++ {
+			if i != r && m[i][c] {
+				addRow(i, r)
+			}
+		}
+		r++
+	}
+	progress := false
+	for _, q := range active {
+		v := ex.frontier[q]
+		var nonOut []int
+		for _, n := range d.neighbors(v) {
+			if d.kinds[n] != vOut {
+				nonOut = append(nonOut, n)
+			}
+		}
+		if len(nonOut) != 1 {
+			continue
+		}
+		w := nonOut[0]
+		switch d.kinds[w] {
+		case vIn:
+			// Close only when the input is free; an input still
+			// entangled with interior spiders resolves in a later round.
+			if d.degree(w) != 1 {
+				continue
+			}
+			ex.rev = append(ex.rev, egate{op: opH, a: q})
+			ex.wireIn[q] = d.qubits[w]
+			ex.finished[q] = true
+			ex.frontier[q] = -1
+			d.removeVertex(v)
+			d.removeVertex(w)
+			d.removeVertex(d.outs[q])
+			progress = true
+		case vZ:
+			ex.rev = append(ex.rev, egate{op: opH, a: q})
+			d.removeVertex(v)
+			d.setEdge(d.outs[q], w, ePlain)
+			ex.frontier[q] = w
+			progress = true
+		default:
+			return false, fmt.Errorf("zx: frontier of wire %d reached unexpected vertex %d", q, w)
+		}
+	}
+	return progress, nil
+}
+
+// emitPermutation appends the residual wire permutation as swaps. The
+// swap list is built in circuit order (the permutation acts at the input
+// end) and appended to rev reversed, so the final single reversal puts it
+// first.
+func (ex *extractor) emitPermutation() {
+	n := len(ex.wireIn)
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	var swaps []egate
+	for q := 0; q < n; q++ {
+		if cur[q] == ex.wireIn[q] {
+			continue
+		}
+		for r := q + 1; r < n; r++ {
+			if cur[r] == ex.wireIn[q] {
+				swaps = append(swaps, egate{op: opSwap, a: q, b: r})
+				cur[q], cur[r] = cur[r], cur[q]
+				break
+			}
+		}
+	}
+	for i := len(swaps) - 1; i >= 0; i-- {
+		ex.rev = append(ex.rev, swaps[i])
+	}
+}

@@ -15,7 +15,7 @@ import (
 // cacheKeyVersion tags the option-encoding layout hashed into CacheKey;
 // bump it whenever a semantic Options field is added or the encoding
 // changes so old addresses can never alias new configurations.
-const cacheKeyVersion = 2
+const cacheKeyVersion = 3
 
 // CanonicalOptions returns a copy of opts normalized for content
 // addressing: non-semantic fields are cleared (Hooks callbacks, the
@@ -82,6 +82,7 @@ func CacheKeyICM(ic *icm.Circuit, opts Options) (string, error) {
 func appendOptions(b []byte, o Options) []byte {
 	b = append(b, 'o', 'p', 't', cacheKeyVersion)
 	b = appendBool(b, o.Bridging)
+	b = appendBool(b, o.ZX)
 	b = appendBool(b, o.PrimalGroups)
 	b = appendI64(b, int64(o.MaxGroupSize))
 	b = appendBool(b, o.NoBoxes)

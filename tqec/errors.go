@@ -13,6 +13,7 @@ type Stage string
 // The pipeline stages, in execution order.
 const (
 	StagePreprocess Stage = "preprocess" // decompose, ICM, canonical, modularization
+	StageZXRewrite  Stage = "zx-rewrite" // ZX-calculus pre-compression of the decomposed circuit
 	StageBridging   Stage = "bridging"
 	StagePlacement  Stage = "placement"
 	StageRouting    Stage = "routing"

@@ -48,6 +48,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/qc"
 	"repro/internal/route"
+	"repro/internal/zx"
 )
 
 // Retry configures the staged retry-with-escalation policy applied when a
@@ -75,6 +76,13 @@ type Options struct {
 	// Bridging enables the iterative bridging stage (disable to
 	// reproduce the paper's "w/o bridging" ablation, Table V).
 	Bridging bool
+	// ZX enables the ZX-calculus pre-compression pass on the decomposed
+	// circuit before ICM conversion (disable for the paper-faithful
+	// ablation). The pass is self-checking: it keeps the original
+	// decomposition unless the rewritten one strictly lowers the
+	// canonical space-time volume, so enabling it never worsens the
+	// result (see internal/zx).
+	ZX bool
 	// PrimalGroups enables primal-group super-modules (disable to
 	// reproduce the conference version [36], Table III).
 	PrimalGroups bool
@@ -108,6 +116,7 @@ type Options struct {
 func DefaultOptions() Options {
 	return Options{
 		Bridging:     true,
+		ZX:           true,
 		PrimalGroups: true,
 		MaxGroupSize: 6,
 		Retry:        Retry{MaxAttempts: 3, Escalation: 2},
@@ -191,6 +200,35 @@ func CompileContext(ctx context.Context, c *qc.Circuit, opts Options) (*Result, 
 			return err
 		}
 		res.Decomposed = d.Circuit
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.ZX {
+		err = runStage(res.Breakdown, metrics.StageZX, StageZXRewrite, opts.Hooks, func() error {
+			if err := faults.Canceled(ctx); err != nil {
+				return err
+			}
+			red, st, err := zx.Optimize(res.Decomposed)
+			if err != nil {
+				return err
+			}
+			res.Decomposed = red
+			res.Breakdown.Count(metrics.CounterZXGatesBefore, st.GatesBefore)
+			res.Breakdown.Count(metrics.CounterZXGatesAfter, st.GatesAfter)
+			res.Breakdown.Count(metrics.CounterZXRewrites, st.Rewrites)
+			if !st.Applied {
+				res.Breakdown.Count(metrics.CounterZXFallbacks, 1)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	err = runStage(res.Breakdown, metrics.StageOther, StagePreprocess, opts.Hooks, func() error {
+		var err error
 		res.ICM, err = icm.FromDecomposed(res.Decomposed)
 		return err
 	})

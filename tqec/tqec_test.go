@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/icm"
+	"repro/internal/metrics"
 	"repro/internal/qc"
 )
 
@@ -141,8 +142,15 @@ func TestBreakdownCoversStages(t *testing.T) {
 	if res.Breakdown.Total() <= 0 {
 		t.Fatal("no time recorded")
 	}
-	if len(res.Breakdown.Stages()) != 4 {
+	// other, zx rewrite, bridging, placement, routing.
+	if len(res.Breakdown.Stages()) != 5 {
 		t.Fatalf("stages: %v", res.Breakdown.Stages())
+	}
+	if res.Breakdown.Get(metrics.StageZX) < 0 {
+		t.Fatal("zx stage missing from breakdown")
+	}
+	if res.Breakdown.Counter(metrics.CounterZXGatesBefore) == 0 {
+		t.Fatal("zx gates-before counter not recorded")
 	}
 }
 
