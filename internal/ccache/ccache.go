@@ -44,13 +44,21 @@ func (o Outcome) String() string {
 }
 
 // Stats is a point-in-time snapshot of the cache's counters, shaped for
-// the /v1/metrics endpoint.
+// the /v1/metrics endpoint. Counters are accounted at resolution time, so
+// Hits+Misses == Lookups always holds: a call only counts once its fate is
+// known, and a coalesced wait that never materializes a value (failed or
+// abandoned flight) is a miss, not a shared hit.
 type Stats struct {
-	// Hits counts Do calls served from the cache.
+	// Lookups counts Do calls.
+	Lookups int64 `json:"lookups"`
+	// Hits counts Do calls served a value without running compute: direct
+	// cache hits plus materialized single-flight waits.
 	Hits int64 `json:"hits"`
-	// Misses counts Do calls that ran their compute function.
+	// Misses counts Do calls that ran their compute function, plus waits
+	// on a flight that failed or was abandoned before a value arrived.
 	Misses int64 `json:"misses"`
-	// Shared counts Do calls coalesced onto another call's compute.
+	// Shared counts the subset of Hits that coalesced onto another call's
+	// in-flight compute and observed its published value (Shared ≤ Hits).
 	Shared int64 `json:"shared"`
 	// Evictions counts entries dropped to stay within the byte budget.
 	Evictions int64 `json:"evictions"`
@@ -89,7 +97,7 @@ type Cache struct {
 	entries  map[string]*list.Element
 	inflight map[string]*flight
 
-	hits, misses, shared, evictions, uncacheable int64
+	lookups, hits, misses, shared, evictions, uncacheable int64
 }
 
 // New returns a cache bounded to maxBytes of payload (metadata overhead is
@@ -138,6 +146,7 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 // so callers bound the compute itself via the context they capture in it.
 func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, Outcome, error) {
 	c.mu.Lock()
+	c.lookups++
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		c.hits++
@@ -146,12 +155,25 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, erro
 		return val, Hit, nil
 	}
 	if f, ok := c.inflight[key]; ok {
-		c.shared++
+		// Counters are settled only once the wait resolves: a shared hit
+		// that never materializes (leader failed, wait abandoned) must not
+		// be reported as one.
 		c.mu.Unlock()
 		select {
 		case <-f.done:
+			c.mu.Lock()
+			if f.err == nil {
+				c.hits++
+				c.shared++
+			} else {
+				c.misses++
+			}
+			c.mu.Unlock()
 			return f.val, Shared, f.err
 		case <-ctx.Done():
+			c.mu.Lock()
+			c.misses++
+			c.mu.Unlock()
 			return nil, Shared, faults.Canceled(ctx)
 		}
 	}
@@ -213,6 +235,7 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
+		Lookups:     c.lookups,
 		Hits:        c.hits,
 		Misses:      c.misses,
 		Shared:      c.shared,

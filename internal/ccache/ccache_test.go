@@ -40,7 +40,7 @@ func TestDoHitMiss(t *testing.T) {
 		t.Fatalf("Get = %q, %v", got, ok)
 	}
 	s := c.Stats()
-	if s.Hits != 1 || s.Misses != 1 || s.Shared != 0 || s.Entries != 1 || s.Bytes != 7 {
+	if s.Lookups != 2 || s.Hits != 1 || s.Misses != 1 || s.Shared != 0 || s.Entries != 1 || s.Bytes != 7 {
 		t.Fatalf("stats %+v", s)
 	}
 }
@@ -101,8 +101,11 @@ func TestSingleFlight(t *testing.T) {
 		t.Fatalf("outcomes: %d miss, %d shared, %d hit", miss, shrd, hit)
 	}
 	s := c.Stats()
-	if s.Misses != 1 || int(s.Shared+s.Hits) != waiters-1 {
+	if s.Lookups != waiters || s.Misses != 1 || s.Hits != waiters-1 || s.Shared > s.Hits {
 		t.Fatalf("stats %+v", s)
+	}
+	if s.Hits+s.Misses != s.Lookups {
+		t.Fatalf("hits+misses != lookups: %+v", s)
 	}
 }
 
@@ -276,8 +279,11 @@ func TestConcurrentMixedKeys(t *testing.T) {
 	}
 	wg.Wait()
 	s := c.Stats()
-	if total := s.Hits + s.Misses + s.Shared; total != goroutines*rounds {
-		t.Fatalf("outcome counters sum to %d, want %d", total, goroutines*rounds)
+	if s.Lookups != goroutines*rounds {
+		t.Fatalf("lookups = %d, want %d", s.Lookups, goroutines*rounds)
+	}
+	if s.Hits+s.Misses != s.Lookups || s.Shared > s.Hits {
+		t.Fatalf("counter invariant violated: %+v", s)
 	}
 }
 

@@ -1,0 +1,98 @@
+package ccache
+
+import "context"
+
+// Store is the cache surface the compile service consumes. Both the
+// single-mutex Cache and the Sharded wrapper implement it, so the server
+// can swap between them with a configuration knob.
+type Store interface {
+	// Get returns the cached payload for key, if any.
+	Get(key string) ([]byte, bool)
+	// Put inserts a payload directly (crash recovery; no hit/miss).
+	Put(key string, val []byte)
+	// Do returns the payload for key, computing it at most once across
+	// all concurrent callers of the store.
+	Do(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, Outcome, error)
+	// Stats snapshots the store's counters.
+	Stats() Stats
+}
+
+var (
+	_ Store = (*Cache)(nil)
+	_ Store = (*Sharded)(nil)
+)
+
+// Sharded is a content-addressed cache split into independently-locked
+// shards by a consistent hash of the key, so lookups under concurrent load
+// stop serializing on a single mutex. Keys are content addresses
+// (tqec.CacheKey SHA-256 hex), so the hash spreads uniformly. Single-flight
+// deduplication is preserved per shard, which is exactly per key: a key
+// always maps to the same shard, so N concurrent Do calls for one address
+// still cost one compute.
+type Sharded struct {
+	shards []*Cache
+}
+
+// NewSharded returns a store of n independently-locked shards splitting a
+// total payload budget of maxBytes evenly. n is clamped to at least 1; a
+// non-positive budget disables caching (every shard gets a zero budget)
+// while keeping single-flight deduplication.
+func NewSharded(n int, maxBytes int64) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	per := maxBytes / int64(n)
+	s := &Sharded{shards: make([]*Cache, n)}
+	for i := range s.shards {
+		s.shards[i] = New(per)
+	}
+	return s
+}
+
+// shard maps a key to its owning shard by FNV-1a hash.
+func (s *Sharded) shard(key string) *Cache {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return s.shards[h%uint32(len(s.shards))]
+}
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Get returns the cached payload for key from its shard.
+func (s *Sharded) Get(key string) ([]byte, bool) { return s.shard(key).Get(key) }
+
+// Put inserts a payload into the key's shard.
+func (s *Sharded) Put(key string, val []byte) { s.shard(key).Put(key, val) }
+
+// Do runs the single-flight protocol on the key's shard.
+func (s *Sharded) Do(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, Outcome, error) {
+	return s.shard(key).Do(ctx, key, compute)
+}
+
+// Stats unions the per-shard counters into one snapshot. MaxBytes is the
+// sum of the per-shard budgets (the usable total). Each shard maintains
+// Hits+Misses == Lookups, so the union does too.
+func (s *Sharded) Stats() Stats {
+	var out Stats
+	for _, c := range s.shards {
+		st := c.Stats()
+		out.Lookups += st.Lookups
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Shared += st.Shared
+		out.Evictions += st.Evictions
+		out.Uncacheable += st.Uncacheable
+		out.Entries += st.Entries
+		out.Bytes += st.Bytes
+		out.MaxBytes += st.MaxBytes
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package ccache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSharedLeaderFailureNotCounted is the regression for the shared-hit
+// drift: waiters used to be counted Shared the moment they coalesced, so a
+// failed leader left behind shared hits that never materialized. Waiters
+// must observe the leader's error, and the counters must record them as
+// misses.
+func TestSharedLeaderFailureNotCounted(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("boom")
+	const waiters = 8
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+		leaderErr <- err
+	}()
+	<-started
+
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	vals := make([][]byte, waiters)
+	waiting := make(chan struct{}, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			waiting <- struct{}{}
+			v, o, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+				t.Error("waiter ran compute during an in-flight call")
+				return nil, nil
+			})
+			if o != Shared {
+				t.Errorf("waiter %d outcome = %v, want Shared", i, o)
+			}
+			errs[i], vals[i] = err, v
+		}()
+	}
+	// All waiters are about to block on the flight; give them a beat to
+	// reach the select, then fail the leader.
+	for i := 0; i < waiters; i++ {
+		<-waiting
+	}
+	close(release)
+	wg.Wait()
+	if err := <-leaderErr; !errors.Is(err, boom) {
+		t.Fatalf("leader err = %v", err)
+	}
+	for i := 0; i < waiters; i++ {
+		if !errors.Is(errs[i], boom) {
+			t.Fatalf("waiter %d err = %v, want leader's error", i, errs[i])
+		}
+		if vals[i] != nil {
+			t.Fatalf("waiter %d got a value %q from a failed flight", i, vals[i])
+		}
+	}
+
+	s := c.Stats()
+	if s.Shared != 0 || s.Hits != 0 {
+		t.Fatalf("failed flight produced phantom shared hits: %+v", s)
+	}
+	// Some waiters may have raced in after the flight resolved and become
+	// fresh leaders themselves; every one of them failed, so all lookups
+	// are misses either way.
+	if s.Misses != s.Lookups || s.Hits+s.Misses != s.Lookups {
+		t.Fatalf("counter invariant violated after failed flight: %+v", s)
+	}
+}
+
+// TestCounterInvariantStress hammers Do with mixed keys, failing computes
+// and canceled waits (run under -race) and pins the accounting invariant
+// the sharded cache multiplies by N: hits+misses == lookups, shared ≤ hits.
+func TestCounterInvariantStress(t *testing.T) {
+	stores := map[string]Store{
+		"single":  New(1 << 10),
+		"sharded": NewSharded(4, 1<<12),
+	}
+	for name, c := range stores {
+		c := c
+		t.Run(name, func(t *testing.T) {
+			const goroutines, rounds, keys = 12, 150, 7
+			var wg sync.WaitGroup
+			var want atomic.Int64
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					for i := 0; i < rounds; i++ {
+						k := fmt.Sprintf("key-%d", rng.Intn(keys))
+						ctx := context.Background()
+						var cancel context.CancelFunc
+						if rng.Intn(8) == 0 {
+							ctx, cancel = context.WithCancel(ctx)
+							cancel() // abandoned waits must not count shared hits
+						}
+						fail := rng.Intn(4) == 0
+						want.Add(1)
+						_, _, err := c.Do(ctx, k, func() ([]byte, error) {
+							if fail {
+								return nil, errors.New("induced failure")
+							}
+							return []byte("payload-for-" + k), nil
+						})
+						_ = err // failures and cancellations are the point
+						if cancel != nil {
+							cancel()
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			s := c.Stats()
+			if s.Lookups != want.Load() {
+				t.Fatalf("lookups = %d, want %d", s.Lookups, want.Load())
+			}
+			if s.Hits+s.Misses != s.Lookups {
+				t.Fatalf("hits+misses != lookups: %+v", s)
+			}
+			if s.Shared > s.Hits {
+				t.Fatalf("shared hits exceed hits: %+v", s)
+			}
+		})
+	}
+}
+
+// TestShardedSingleFlightPerKey checks the sharded store still computes a
+// key at most once across concurrent callers: a key always maps to the same
+// shard, so per-shard single-flight is per-key single-flight.
+func TestShardedSingleFlightPerKey(t *testing.T) {
+	s := NewSharded(8, 1<<20)
+	const callers, keys = 32, 4
+	var computes [keys]atomic.Int64
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			k := i % keys
+			v, _, err := s.Do(context.Background(), fmt.Sprintf("key-%d", k), func() ([]byte, error) {
+				computes[k].Add(1)
+				<-release
+				return []byte(fmt.Sprintf("val-%d", k)), nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			if want := fmt.Sprintf("val-%d", k); string(v) != want {
+				t.Errorf("caller %d got %q, want %q", i, v, want)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	for k := range computes {
+		if n := computes[k].Load(); n != 1 {
+			t.Errorf("key %d computed %d times, want 1", k, n)
+		}
+	}
+	st := s.Stats()
+	if st.Lookups != callers || st.Misses != keys || st.Hits+st.Misses != st.Lookups {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestShardedSpreadAndStats checks keys actually land on multiple shards,
+// Put/Get round-trip through the hash, and the unioned stats add up.
+func TestShardedSpreadAndStats(t *testing.T) {
+	s := NewSharded(4, 4<<10)
+	if s.Shards() != 4 {
+		t.Fatalf("Shards() = %d", s.Shards())
+	}
+	touched := map[*Cache]bool{}
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("content-address-%d", i)
+		s.Put(k, []byte{byte(i)})
+		touched[s.shard(k)] = true
+		if v, ok := s.Get(k); !ok || len(v) != 1 || v[0] != byte(i) {
+			t.Fatalf("Get(%s) = %v, %v", k, v, ok)
+		}
+	}
+	if len(touched) < 2 {
+		t.Fatalf("64 keys landed on %d shard(s); hash is not spreading", len(touched))
+	}
+	st := s.Stats()
+	if st.Entries != 64 || st.Bytes != 64 {
+		t.Fatalf("unioned stats %+v", st)
+	}
+	if st.MaxBytes != 4<<10 {
+		t.Fatalf("MaxBytes = %d, want the usable total %d", st.MaxBytes, 4<<10)
+	}
+	// Puts don't count as lookups.
+	if st.Lookups != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Put counted as lookup: %+v", st)
+	}
+}
+
+// TestNewShardedClamps pins the constructor edges: n<1 behaves like one
+// shard, and a non-positive budget disables caching but keeps dedup.
+func TestNewShardedClamps(t *testing.T) {
+	s := NewSharded(0, 1<<10)
+	if s.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", s.Shards())
+	}
+	d := NewSharded(4, 0)
+	if _, _, err := d.Do(context.Background(), "k", func() ([]byte, error) { return []byte("v"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("k"); ok {
+		t.Fatal("zero-budget sharded store cached a value")
+	}
+}

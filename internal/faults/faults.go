@@ -34,6 +34,12 @@ var (
 	// caller wraps with Transient. The resilience layer classifies it as
 	// retryable; everything else in the taxonomy is judged individually.
 	ErrTransient = errors.New("transient fault")
+	// ErrEmpty marks a workload that reduced to nothing to lay out — a
+	// circuit (or partitioned sub-circuit) whose gates all canceled
+	// during rewriting, leaving no modules to place. The partitioned
+	// compiler treats a part failing with it as geometry-free rather
+	// than as a compilation failure.
+	ErrEmpty = errors.New("nothing to lay out")
 )
 
 // Transient wraps err (or creates a bare fault from msg when err is nil)

@@ -12,6 +12,13 @@ import (
 	"time"
 )
 
+// ErrJobEvicted marks an async job the registry evicted (TTL or capacity
+// pressure) between submission and the poll that would have read its
+// terminal state. It is a distinct outcome, not a transport failure: the
+// job may well have finished, but its result is gone. Detect it with
+// errors.Is on LoadResult.Err.
+var ErrJobEvicted = errors.New("job evicted before poll observed a terminal state")
+
 // LoadOptions configures RunLoad, the concurrent load generator for a tqecd
 // compile service.
 type LoadOptions struct {
@@ -284,6 +291,16 @@ func runAsync(ctx context.Context, client *http.Client, base string, body []byte
 		st, payload, err := getJSON(ctx, client, base+"/v1/jobs/"+v.ID)
 		if err != nil {
 			r.Err = err
+			return
+		}
+		if st == http.StatusNotFound {
+			// The job existed a moment ago — we submitted it — so a 404
+			// mid-poll means the registry evicted it (TTL or capacity)
+			// before we observed the terminal state. Surface that as its
+			// own outcome rather than a generic poll failure: callers
+			// treating any non-200 as "server broke" would misdiagnose a
+			// registry sized below the polling cadence.
+			r.Err = fmt.Errorf("job %s: %w", v.ID, ErrJobEvicted)
 			return
 		}
 		if st != http.StatusOK {

@@ -24,10 +24,21 @@ func FuzzDecodeSegment(f *testing.F) {
 	f.Add(append(append([]byte{}, valid...), done...))
 	f.Add(append(append([]byte{}, valid...), done[:len(done)/2]...)) // torn tail
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})                // absurd length
+	// Boundary tears: a zero-length payload frame is eight zero bytes and
+	// its CRC genuinely validates (CRC32 of "" is 0); checksum-valid "null"
+	// and "{}" payloads decode to zero Events. None may yield a phantom.
+	f.Add(append(append([]byte{}, valid...), 0, 0, 0, 0, 0, 0, 0, 0))
+	f.Add(append(append([]byte{}, valid...), rawFrame([]byte("null"))...))
+	f.Add(append(append([]byte{}, valid...), rawFrame([]byte("{}"))...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		events, clean := DecodeSegment(data)
 		if clean < 0 || clean > int64(len(data)) {
 			t.Fatalf("clean offset %d out of range [0,%d]", clean, len(data))
+		}
+		for i, ev := range events {
+			if !ev.valid() {
+				t.Fatalf("event %d is a phantom (empty job or unknown kind): %+v", i, ev)
+			}
 		}
 		again, cleanAgain := DecodeSegment(data[:clean])
 		if cleanAgain != clean {

@@ -300,6 +300,9 @@ func (j *Journal) openActive(seq int, size int64) error {
 // acknowledgement) do not double-complete, and out-of-order duplicates
 // from an interrupted compaction are ignored.
 func (j *Journal) apply(ev Event) {
+	if !ev.valid() {
+		return // never fold a phantom event into the state
+	}
 	st, ok := j.state[ev.JobID]
 	if !ok {
 		st = &JobState{ID: ev.JobID, Status: StatusAccepted}
@@ -601,7 +604,29 @@ func DecodeSegment(data []byte) (events []Event, clean int64) {
 		if err := json.Unmarshal(payload, &ev); err != nil {
 			return events, int64(off)
 		}
+		if !ev.valid() {
+			// A checksum can validate garbage that still parses as JSON:
+			// a zero-length payload frame is all zero bytes (CRC32 of the
+			// empty string is 0), and a torn tail overwritten with "null"
+			// or "{}" decodes into a zero Event. Folding such a phantom
+			// into the state would create a job with no ID; treat it as
+			// corruption and stop at the clean prefix instead.
+			return events, int64(off)
+		}
 		events = append(events, ev)
 		off += frameHeader + n
 	}
+}
+
+// valid reports whether a decoded event could have been produced by
+// encodeFrame: a real lifecycle kind attached to a real job.
+func (ev Event) valid() bool {
+	if ev.JobID == "" {
+		return false
+	}
+	switch ev.Kind {
+	case KindAccepted, KindRunning, KindDone, KindFailed:
+		return true
+	}
+	return false
 }

@@ -2,7 +2,9 @@ package journal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -173,6 +175,87 @@ func TestCorruptRecordCutsReplay(t *testing.T) {
 	rec := j2.Recovered()
 	if len(rec) != 1 || rec[0].Status != StatusRunning || !rec[0].Interrupted() {
 		t.Fatalf("corrupted done event should leave the job interrupted, got %+v", rec)
+	}
+}
+
+// rawFrame builds a length+CRC framed record around an arbitrary payload,
+// bypassing encodeFrame's validity guarantees — the shapes a torn or
+// zero-filled tail can leave on disk.
+func rawFrame(payload []byte) []byte {
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	return frame
+}
+
+// TestBoundaryTearReplay pins the torn-tail boundary cases: a tear landing
+// exactly on a frame boundary is not torn at all, a zero-length payload
+// frame (eight zero bytes — its CRC is genuinely valid) truncates cleanly,
+// and a checksum-valid phantom payload ("null", "{}") must never fold an
+// empty event into the replayed state.
+func TestBoundaryTearReplay(t *testing.T) {
+	valid, err := encodeFrame(Event{Kind: KindAccepted, JobID: "a-1", Key: "k", Request: []byte(`{"req":"a-1"}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := encodeFrame(Event{Kind: KindDone, JobID: "a-1", Key: "k", Result: []byte(`{"volume":7}`), Outcome: "miss"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name       string
+		data       []byte
+		wantEvents int
+		wantClean  int64
+	}{
+		{"tear-on-frame-boundary", append(append([]byte{}, valid...), done...), 2, int64(len(valid) + len(done))},
+		{"zero-length-payload-frame", append(append([]byte{}, valid...), rawFrame(nil)...), 1, int64(len(valid))},
+		{"null-payload-frame", append(append([]byte{}, valid...), rawFrame([]byte("null"))...), 1, int64(len(valid))},
+		{"empty-object-frame", append(append([]byte{}, valid...), rawFrame([]byte("{}"))...), 1, int64(len(valid))},
+		{"invalid-kind-frame", append(append([]byte{}, valid...), rawFrame([]byte(`{"kind":"bogus","job_id":"a-1"}`))...), 1, int64(len(valid))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			events, clean := DecodeSegment(tc.data)
+			if len(events) != tc.wantEvents || clean != tc.wantClean {
+				t.Fatalf("DecodeSegment: %d events, clean %d; want %d events, clean %d",
+					len(events), clean, tc.wantEvents, tc.wantClean)
+			}
+			for i, ev := range events {
+				if !ev.valid() {
+					t.Fatalf("event %d is a phantom: %+v", i, ev)
+				}
+			}
+
+			// Full replay: only job a-1 may exist, and the segment file
+			// must come back truncated to the clean prefix.
+			dir := t.TempDir()
+			seg := filepath.Join(dir, "00000001.wal")
+			if err := os.WriteFile(seg, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j, err := Open(dir, testOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := j.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}()
+			rec := j.Recovered()
+			if len(rec) != 1 || rec[0].ID != "a-1" {
+				t.Fatalf("replay folded a phantom job into the state: %+v", rec)
+			}
+			if got, err := os.ReadFile(seg); err != nil || int64(len(got)) != tc.wantClean {
+				t.Fatalf("segment is %d bytes after replay, want %d (err %v)", len(got), tc.wantClean, err)
+			}
+			wantTorn := int64(len(tc.data)) - tc.wantClean
+			if st := j.Stats(); st.TornBytes != wantTorn {
+				t.Fatalf("torn bytes %d, want %d", st.TornBytes, wantTorn)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,79 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/qc"
+	"repro/internal/sim"
+)
+
+// FuzzPartition generates seeded benchmark-shaped circuits, decomposes
+// them, and checks the partitioner's contract on each: parts ∪ seams cover
+// every gate exactly once (Verify + Reassemble), the result is identical
+// across reruns with a fixed seed, and — on circuits small enough to
+// simulate — the reassembled circuit is state-vector equivalent to the
+// decomposed input. The seed corpus under testdata/fuzz is replayed by
+// `make fuzz-seeds`.
+func FuzzPartition(f *testing.F) {
+	f.Add(uint8(5), uint8(1), uint8(4), uint8(2), int64(1), uint8(3))
+	f.Add(uint8(6), uint8(2), uint8(6), uint8(0), int64(9), uint8(3))
+	f.Add(uint8(24), uint8(0), uint8(40), uint8(8), int64(7), uint8(8))
+	f.Add(uint8(2), uint8(0), uint8(1), uint8(1), int64(0), uint8(1))
+	f.Add(uint8(9), uint8(3), uint8(0), uint8(3), int64(-5), uint8(4))
+	f.Fuzz(func(t *testing.T, qubits, toffolis, cnots, nots uint8, seed int64, maxPer uint8) {
+		nq := 2 + int(qubits)%30 // 2..31 qubits
+		spec := qc.BenchmarkSpec{
+			Name:     "fuzz",
+			Qubits:   nq,
+			Toffolis: int(toffolis) % 4,
+			CNOTs:    int(cnots) % 48,
+			NOTs:     int(nots) % 8,
+			Seed:     seed,
+		}
+		if nq < 3 {
+			spec.Toffolis = 0
+		}
+		if spec.Toffolis+spec.CNOTs+spec.NOTs == 0 {
+			spec.NOTs = 1
+		}
+		raw, err := spec.Generate()
+		if err != nil {
+			t.Skip() // degenerate spec
+		}
+		d, err := decompose.Decompose(raw)
+		if err != nil {
+			t.Fatalf("decompose: %v", err)
+		}
+		opts := Options{MaxQubitsPerPart: 1 + int(maxPer)%16, Seed: seed}
+		r, err := Partition(d.Circuit, opts)
+		if err != nil {
+			t.Fatalf("partition: %v", err)
+		}
+		if err := r.Verify(d.Circuit, opts); err != nil {
+			t.Fatalf("coverage broken: %v", err)
+		}
+		again, err := Partition(d.Circuit, opts)
+		if err != nil {
+			t.Fatalf("repartition: %v", err)
+		}
+		if !reflect.DeepEqual(r, again) {
+			t.Fatal("partition is not deterministic for a fixed seed")
+		}
+		n := d.Circuit.NumQubits()
+		if n <= 8 && d.Circuit.NumGates() <= 64 {
+			back, err := r.Reassemble(d.Circuit)
+			if err != nil {
+				t.Fatalf("reassemble: %v", err)
+			}
+			ok, err := sim.EquivalentUpToPhase(n, back, d.Circuit)
+			if err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+			if !ok {
+				t.Fatal("reassembled partition not sim-equivalent to decomposed input")
+			}
+		}
+	})
+}

@@ -1,0 +1,404 @@
+// Package partition splits a decomposed circuit along its qubit-interaction
+// graph into sub-circuits small enough to compile independently, plus an
+// explicit seam list of the cut CNOTs that couple them. The decomposed gate
+// set contains exactly one two-qubit gate kind (CNOT — see package
+// decompose), so inter-partition coupling is carried entirely by CNOT nets:
+// every gate either lives wholly inside one part or is a seam.
+//
+// The cut is a greedy min-cut: parts grow one qubit at a time, always
+// absorbing the unassigned qubit with the strongest CNOT attraction to the
+// part so far, so heavily-interacting qubits end up on the same side and
+// the number of cut CNOTs stays small. The partitioner is deterministic for
+// a fixed (circuit, Options) pair — ties are broken by a seeded PRNG, never
+// by map order — which is what lets partitioned compiles be content
+// addressed and reproduced bit-identically.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/faults"
+	"repro/internal/qc"
+)
+
+// Options configures the partitioner.
+type Options struct {
+	// MaxQubitsPerPart caps the qubit count of each sub-circuit. A
+	// non-positive cap (or a circuit already at or below it) selects
+	// pass-through mode: one part holding the whole circuit, no seams.
+	MaxQubitsPerPart int
+	// Seed drives deterministic tie-breaking among equally attractive
+	// growth candidates. Two runs with equal seeds produce identical
+	// partitions.
+	Seed int64
+}
+
+// Part is one sub-circuit of the partition.
+type Part struct {
+	// Circuit is the sub-circuit over local qubit indices 0..len(Qubits)-1.
+	Circuit *qc.Circuit
+	// Qubits maps local qubit index to the source circuit's qubit index,
+	// in ascending source order.
+	Qubits []int
+	// GateIdx lists the source positions of this part's gates, ascending;
+	// Circuit.Gates[i] is the remapped form of the source gate GateIdx[i].
+	GateIdx []int
+}
+
+// Seam is one cut CNOT: a gate whose control and target landed in
+// different parts.
+type Seam struct {
+	// Index is the gate's position in the source circuit.
+	Index int
+	// Gate is the cut CNOT in source qubit indices.
+	Gate qc.Gate
+	// ControlPart and TargetPart are the parts owning each endpoint.
+	ControlPart, TargetPart int
+}
+
+// Result is a partition of a decomposed circuit: parts ∪ seams cover every
+// source gate exactly once.
+type Result struct {
+	// Parts are the sub-circuits, in deterministic construction order.
+	Parts []Part
+	// Seams are the cut CNOTs, in source order.
+	Seams []Seam
+	// QubitPart maps each source qubit to its part.
+	QubitPart []int
+	// CutWeight is the number of cut CNOTs (== len(Seams)).
+	CutWeight int
+	// PassThrough marks the below-threshold mode: one part, no seams.
+	PassThrough bool
+}
+
+// Partition splits a decomposed circuit. The input must already be lowered
+// to the decomposed gate set: at most two distinct qubits per gate, and
+// every two-qubit gate a CNOT (run package decompose first).
+func Partition(c *qc.Circuit, opts Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: input invalid: %w", err)
+	}
+	for i, g := range c.Gates {
+		q := g.Qubits()
+		if len(q) > 2 {
+			return nil, fmt.Errorf("partition: gate %d (%v) touches %d qubits; input must be decomposed", i, g, len(q))
+		}
+		if len(q) == 2 && g.Kind != qc.GateCNOT {
+			return nil, fmt.Errorf("partition: gate %d (%v) is a non-CNOT two-qubit gate; input must be decomposed", i, g)
+		}
+	}
+	n := c.NumQubits()
+	if opts.MaxQubitsPerPart <= 0 || n <= opts.MaxQubitsPerPart {
+		return passThrough(c)
+	}
+	qubitPart := assignQubits(c, n, opts)
+	return assemble(c, qubitPart, false)
+}
+
+// passThrough wraps the whole circuit as a single part with no seams.
+func passThrough(c *qc.Circuit) (*Result, error) {
+	part := make([]int, c.NumQubits())
+	res, err := assemble(c, part, true)
+	if err != nil {
+		// assemble cannot fail on the identity assignment; if it does,
+		// surface it as the invariant violation it is.
+		return nil, fmt.Errorf("partition: pass-through assembly failed: %w: %v", faults.ErrInvariant, err)
+	}
+	return res, nil
+}
+
+// assignQubits runs the greedy min-cut growth and returns the qubit→part
+// assignment.
+func assignQubits(c *qc.Circuit, n int, opts Options) []int {
+	// CNOT adjacency: weight[u][v] counts CNOTs between u and v; deg[u]
+	// is u's total interaction weight.
+	weight := make([]map[int]int, n)
+	for i := range weight {
+		weight[i] = map[int]int{}
+	}
+	deg := make([]int, n)
+	for _, g := range c.Gates {
+		q := g.Qubits()
+		if len(q) != 2 {
+			continue
+		}
+		u, v := q[0], q[1]
+		weight[u][v]++
+		weight[v][u]++
+		deg[u]++
+		deg[v]++
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	qubitPart := make([]int, n)
+	for i := range qubitPart {
+		qubitPart[i] = -1
+	}
+	unassigned := n
+	for partID := 0; unassigned > 0; partID++ {
+		// Seed the part with the highest-degree unassigned qubit, so
+		// growth starts inside a dense interaction cluster.
+		seed := pickBest(n, rng, func(q int) (int, int, bool) {
+			if qubitPart[q] >= 0 {
+				return 0, 0, false
+			}
+			return deg[q], 0, true
+		})
+		// attraction[q] is the CNOT weight between q and the part so far.
+		attraction := make([]int, n)
+		grow := func(q int) {
+			qubitPart[q] = partID
+			unassigned--
+			for v, w := range weight[q] {
+				attraction[v] += w
+			}
+		}
+		grow(seed)
+		for size := 1; size < opts.MaxQubitsPerPart && unassigned > 0; size++ {
+			// Absorb the most attracted unassigned qubit. A qubit with no
+			// attraction still joins (tie broken toward higher residual
+			// degree, then by PRNG): it adds nothing to the cut, and
+			// packing parts full keeps the part count at ⌈n/cap⌉.
+			next := pickBest(n, rng, func(q int) (int, int, bool) {
+				if qubitPart[q] >= 0 {
+					return 0, 0, false
+				}
+				return attraction[q], deg[q], true
+			})
+			grow(next)
+		}
+	}
+	return qubitPart
+}
+
+// pickBest returns the eligible qubit with the lexicographically maximum
+// (primary, secondary) score, breaking exact ties uniformly with the PRNG
+// (reservoir sampling), so the choice depends only on the seed — never on
+// map iteration order.
+func pickBest(n int, rng *rand.Rand, score func(q int) (primary, secondary int, ok bool)) int {
+	best, bestP, bestS, ties := -1, 0, 0, 0
+	for q := 0; q < n; q++ {
+		p, s, ok := score(q)
+		if !ok {
+			continue
+		}
+		switch {
+		case best < 0 || p > bestP || (p == bestP && s > bestS):
+			best, bestP, bestS, ties = q, p, s, 1
+		case p == bestP && s == bestS:
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = q
+			}
+		}
+	}
+	return best
+}
+
+// assemble splits the gates by the qubit assignment and builds the local
+// sub-circuits.
+func assemble(c *qc.Circuit, qubitPart []int, passThrough bool) (*Result, error) {
+	nParts := 0
+	for _, p := range qubitPart {
+		if p+1 > nParts {
+			nParts = p + 1
+		}
+	}
+	res := &Result{
+		QubitPart:   qubitPart,
+		Parts:       make([]Part, nParts),
+		PassThrough: passThrough,
+	}
+	// Local index maps, qubit lists in ascending source order.
+	toLocal := make([]map[int]int, nParts)
+	for p := range res.Parts {
+		toLocal[p] = map[int]int{}
+		for q, owner := range qubitPart {
+			if owner == p {
+				toLocal[p][q] = len(res.Parts[p].Qubits)
+				res.Parts[p].Qubits = append(res.Parts[p].Qubits, q)
+			}
+		}
+		names := make([]string, len(res.Parts[p].Qubits))
+		for local, q := range res.Parts[p].Qubits {
+			names[local] = c.Qubits[q]
+		}
+		res.Parts[p].Circuit = &qc.Circuit{
+			Name:   fmt.Sprintf("%s/part%d", c.Name, p),
+			Qubits: names,
+		}
+	}
+
+	remap := func(p int, idx []int) []int {
+		if len(idx) == 0 {
+			return nil
+		}
+		out := make([]int, len(idx))
+		for i, q := range idx {
+			out[i] = toLocal[p][q]
+		}
+		return out
+	}
+	for i, g := range c.Gates {
+		q := g.Qubits()
+		p := qubitPart[q[0]]
+		if len(q) == 2 && qubitPart[q[1]] != p {
+			res.Seams = append(res.Seams, Seam{
+				Index:       i,
+				Gate:        g,
+				ControlPart: qubitPart[g.Controls[0]],
+				TargetPart:  qubitPart[g.Targets[0]],
+			})
+			continue
+		}
+		res.Parts[p].GateIdx = append(res.Parts[p].GateIdx, i)
+		res.Parts[p].Circuit.Gates = append(res.Parts[p].Circuit.Gates, qc.Gate{
+			Kind:     g.Kind,
+			Controls: remap(p, g.Controls),
+			Targets:  remap(p, g.Targets),
+		})
+	}
+	res.CutWeight = len(res.Seams)
+	for p := range res.Parts {
+		if err := res.Parts[p].Circuit.Validate(); err != nil {
+			return nil, fmt.Errorf("partition: part %d invalid: %w", p, err)
+		}
+	}
+	return res, nil
+}
+
+// Reassemble rebuilds the source circuit from the parts and seams by source
+// gate position. The output is gate-for-gate identical to the circuit the
+// partition was built from — the property Verify checks — so partitioning
+// loses nothing: stitching the parts back together in source order is the
+// original computation.
+func (r *Result) Reassemble(c *qc.Circuit) (*qc.Circuit, error) {
+	out := &qc.Circuit{
+		Name:   c.Name,
+		Qubits: append([]string(nil), c.Qubits...),
+		Gates:  make([]qc.Gate, len(c.Gates)),
+	}
+	seen := make([]bool, len(c.Gates))
+	place := func(idx int, g qc.Gate, from string) error {
+		if idx < 0 || idx >= len(c.Gates) {
+			return fmt.Errorf("partition: %s references gate %d outside the source circuit", from, idx)
+		}
+		if seen[idx] {
+			return fmt.Errorf("partition: gate %d covered twice (%s)", idx, from)
+		}
+		seen[idx] = true
+		out.Gates[idx] = g
+		return nil
+	}
+	for p := range r.Parts {
+		part := &r.Parts[p]
+		if len(part.GateIdx) != len(part.Circuit.Gates) {
+			return nil, fmt.Errorf("partition: part %d has %d gate indices for %d gates", p, len(part.GateIdx), len(part.Circuit.Gates))
+		}
+		for i, idx := range part.GateIdx {
+			g := part.Circuit.Gates[i]
+			back := func(local []int) []int {
+				if len(local) == 0 {
+					return nil
+				}
+				out := make([]int, len(local))
+				for j, l := range local {
+					out[j] = part.Qubits[l]
+				}
+				return out
+			}
+			if err := place(idx, qc.Gate{Kind: g.Kind, Controls: back(g.Controls), Targets: back(g.Targets)}, fmt.Sprintf("part %d", p)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, s := range r.Seams {
+		if err := place(s.Index, s.Gate, "seam"); err != nil {
+			return nil, err
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("partition: gate %d (%v) covered by neither part nor seam", i, c.Gates[i])
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: reassembled circuit invalid: %w", err)
+	}
+	return out, nil
+}
+
+// Verify checks the partition against its source circuit: parts ∪ seams
+// cover every gate exactly once and reassemble to the exact source gates,
+// qubit ownership is consistent, and no part exceeds the cap.
+func (r *Result) Verify(c *qc.Circuit, opts Options) error {
+	if len(r.QubitPart) != c.NumQubits() {
+		return fmt.Errorf("partition: qubit map covers %d of %d qubits", len(r.QubitPart), c.NumQubits())
+	}
+	for q, p := range r.QubitPart {
+		if p < 0 || p >= len(r.Parts) {
+			return fmt.Errorf("partition: qubit %d assigned to nonexistent part %d", q, p)
+		}
+	}
+	for p := range r.Parts {
+		part := &r.Parts[p]
+		if !r.PassThrough && opts.MaxQubitsPerPart > 0 && len(part.Qubits) > opts.MaxQubitsPerPart {
+			return fmt.Errorf("partition: part %d holds %d qubits, cap %d", p, len(part.Qubits), opts.MaxQubitsPerPart)
+		}
+		for local, q := range part.Qubits {
+			if q < 0 || q >= c.NumQubits() || r.QubitPart[q] != p {
+				return fmt.Errorf("partition: part %d local qubit %d maps to %d, owned by part %d", p, local, q, r.QubitPart[q])
+			}
+		}
+	}
+	for _, s := range r.Seams {
+		if s.Gate.Kind != qc.GateCNOT {
+			return fmt.Errorf("partition: seam at gate %d is %v, want a CNOT", s.Index, s.Gate)
+		}
+		if s.ControlPart == s.TargetPart {
+			return fmt.Errorf("partition: seam at gate %d does not cross parts", s.Index)
+		}
+	}
+	back, err := r.Reassemble(c)
+	if err != nil {
+		return err
+	}
+	for i := range c.Gates {
+		if !sameGate(c.Gates[i], back.Gates[i]) {
+			return fmt.Errorf("partition: gate %d reassembles to %v, want %v", i, back.Gates[i], c.Gates[i])
+		}
+	}
+	if r.CutWeight != len(r.Seams) {
+		return fmt.Errorf("partition: cut weight %d != %d seams", r.CutWeight, len(r.Seams))
+	}
+	return nil
+}
+
+// sameGate compares two gates structurally, order-sensitively.
+func sameGate(a, b qc.Gate) bool {
+	if a.Kind != b.Kind || len(a.Controls) != len(b.Controls) || len(a.Targets) != len(b.Targets) {
+		return false
+	}
+	for i := range a.Controls {
+		if a.Controls[i] != b.Controls[i] {
+			return false
+		}
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats summarizes a partition for logs and bench artifacts.
+func (r *Result) Stats() (parts, seams, largest int) {
+	for p := range r.Parts {
+		if n := len(r.Parts[p].Qubits); n > largest {
+			largest = n
+		}
+	}
+	return len(r.Parts), len(r.Seams), largest
+}

@@ -1,0 +1,152 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/qc"
+	"repro/internal/sim"
+)
+
+// clustered builds a circuit with two dense 3-qubit CNOT clusters joined
+// by a single bridging CNOT — the shape a min-cut must split at the bridge.
+func clustered(t *testing.T) *qc.Circuit {
+	t.Helper()
+	c := qc.New("clustered", 6)
+	for r := 0; r < 3; r++ {
+		c.Append(qc.CNOT(0, 1), qc.CNOT(1, 2), qc.CNOT(0, 2)) // cluster A
+		c.Append(qc.CNOT(3, 4), qc.CNOT(4, 5), qc.CNOT(3, 5)) // cluster B
+	}
+	c.Append(qc.CNOT(2, 3)) // the bridge
+	c.Append(qc.NOT(0), qc.NOT(5), qc.T(1), qc.T(4))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGreedyMinCutSplitsAtTheBridge(t *testing.T) {
+	c := clustered(t)
+	opts := Options{MaxQubitsPerPart: 3, Seed: 1}
+	r, err := Partition(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(c, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Parts) != 2 {
+		t.Fatalf("got %d parts, want 2", len(r.Parts))
+	}
+	if len(r.Seams) != 1 || r.Seams[0].Gate.Controls[0] != 2 || r.Seams[0].Gate.Targets[0] != 3 {
+		t.Fatalf("seams %+v, want exactly the bridging CNOT 2→3", r.Seams)
+	}
+	// Each cluster must land whole on one side.
+	for _, pair := range [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}} {
+		if r.QubitPart[pair[0]] != r.QubitPart[pair[1]] {
+			t.Fatalf("cluster qubits %v split across parts: %v", pair, r.QubitPart)
+		}
+	}
+	if r.QubitPart[0] == r.QubitPart[3] {
+		t.Fatalf("both clusters on one part: %v", r.QubitPart)
+	}
+}
+
+func TestPassThroughBelowThreshold(t *testing.T) {
+	c := clustered(t)
+	for _, cap := range []int{0, 6, 100} {
+		r, err := Partition(c, Options{MaxQubitsPerPart: cap, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.PassThrough || len(r.Parts) != 1 || len(r.Seams) != 0 {
+			t.Fatalf("cap %d: parts %d, seams %d, passthrough %v", cap, len(r.Parts), len(r.Seams), r.PassThrough)
+		}
+		if err := r.Verify(c, Options{MaxQubitsPerPart: cap}); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Parts[0].Circuit; got.NumGates() != c.NumGates() || got.NumQubits() != c.NumQubits() {
+			t.Fatalf("pass-through part reshaped the circuit: %d gates, %d qubits", got.NumGates(), got.NumQubits())
+		}
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	c := clustered(t)
+	opts := Options{MaxQubitsPerPart: 2, Seed: 42}
+	a, err := Partition(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different partitions:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRejectsUndecomposedInput(t *testing.T) {
+	c := qc.New("raw", 3)
+	c.Append(qc.Toffoli(0, 1, 2))
+	if _, err := Partition(c, Options{MaxQubitsPerPart: 2}); err == nil {
+		t.Fatal("three-qubit gate accepted; partitioner requires decomposed input")
+	}
+	h := qc.New("cz-ish", 2)
+	h.Append(qc.Gate{Kind: qc.GateV, Controls: []int{0}, Targets: []int{1}})
+	if _, err := Partition(h, Options{MaxQubitsPerPart: 1}); err == nil {
+		t.Fatal("two-qubit non-CNOT accepted; partitioner requires decomposed input")
+	}
+}
+
+// TestReassembleIsSimEquivalent decomposes a benchmark-shaped circuit,
+// partitions it, and checks the reassembly is not just structurally equal
+// but simulates identically to the decomposed original.
+func TestReassembleIsSimEquivalent(t *testing.T) {
+	spec := qc.BenchmarkSpec{Name: "mix", Qubits: 6, Toffolis: 2, CNOTs: 6, NOTs: 2, Seed: 9}
+	raw, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := decompose.Decompose(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{MaxQubitsPerPart: 3, Seed: 5}
+	r, err := Partition(d.Circuit, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(d.Circuit, opts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := r.Reassemble(d.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.Circuit.NumQubits()
+	if n > 12 {
+		t.Skipf("decomposed to %d qubits; sim check bounded to 12", n)
+	}
+	ok, err := sim.EquivalentUpToPhase(n, back, d.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("reassembled partition is not sim-equivalent to the decomposed circuit")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := clustered(t)
+	r, err := Partition(c, Options{MaxQubitsPerPart: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, seams, largest := r.Stats()
+	if parts != 2 || seams != 1 || largest != 3 {
+		t.Fatalf("Stats() = %d, %d, %d", parts, seams, largest)
+	}
+}

@@ -125,7 +125,7 @@ func Run(cl *cluster.Clustering, nets []bridge.Net, opts Options) (*Placement, e
 // faults.ErrCanceled when the deadline passes or the context is canceled.
 func RunContext(ctx context.Context, cl *cluster.Clustering, nets []bridge.Net, opts Options) (*Placement, error) {
 	if len(cl.Supers) == 0 {
-		return nil, fmt.Errorf("place: nothing to place")
+		return nil, fmt.Errorf("place: %w: nothing to place", faults.ErrEmpty)
 	}
 	if err := faults.Canceled(ctx); err != nil {
 		return nil, fmt.Errorf("place: %w", err)

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// TestRunLoadJobEvictedMidPoll pins the async-poll/TTL race: with a job TTL
+// shorter than the polling cadence, the registry evicts a finished job
+// before the poller reads its terminal state, and the subsequent poll 404s.
+// That must surface as the distinct harness.ErrJobEvicted outcome — not a
+// hang, not a spurious success, and not an anonymous "poll status 404"
+// failure.
+func TestRunLoadJobEvictedMidPoll(t *testing.T) {
+	cfg := testConfig()
+	// Finished jobs are eligible for eviction on the very next registry
+	// sweep, which runs inside every poll's lookup.
+	cfg.JobTTL = time.Nanosecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = hs.Serve(ln) }()
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer scancel()
+		_ = hs.Shutdown(sctx)
+		<-serveDone
+	}()
+
+	lctx, lcancel := context.WithTimeout(ctx, time.Minute)
+	defer lcancel()
+	results, err := harness.RunLoad(lctx, harness.LoadOptions{
+		BaseURL:      "http://" + ln.Addr().String(),
+		Bodies:       [][]byte{compileBody(t, realSrc, "fig4", CompileOptions{Seed: 31, Iterations: 2000})},
+		Concurrency:  1,
+		Async:        true,
+		PollInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	r := results[0]
+	if r.Status != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202 (body %s)", r.Status, r.ErrorBody)
+	}
+	if r.Err == nil {
+		t.Fatalf("evicted job polled to a spurious terminal state: %+v", r)
+	}
+	if !errors.Is(r.Err, harness.ErrJobEvicted) {
+		t.Fatalf("eviction surfaced as %v, want harness.ErrJobEvicted", r.Err)
+	}
+	if evicted := s.jobs.evictions(); evicted < 1 {
+		t.Fatalf("registry reports %d evictions, want ≥1", evicted)
+	}
+}

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterFloor is the regression for the Retry-After: 0 bug: a shed
+// response (429/503) whose backoff estimate is zero or sub-second must
+// still advertise at least one whole second. RFC 9110 clients treat 0 (and
+// our clients treated a missing header) as "retry immediately", which
+// hammered the very breaker or queue that was shedding load — the
+// queue-full 429, the draining 503 and a breaker that raced closed all
+// carried a zero estimate.
+func TestRetryAfterFloor(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name       string
+		ae         *apiError
+		wantHeader string
+	}{
+		{"queue-full 429 with no estimate", &apiError{Status: 429, Body: ErrorBody{Message: "queue full"}}, "1"},
+		{"draining 503 with no estimate", &apiError{Status: 503, Body: ErrorBody{Message: "draining"}}, "1"},
+		{"breaker 503 raced closed", &apiError{Status: 503, Body: ErrorBody{Message: "breaker_open"}, RetryAfter: 0}, "1"},
+		{"sub-second 429 estimate", &apiError{Status: 429, Body: ErrorBody{Message: "deadline"}, RetryAfter: 300 * time.Millisecond}, "1"},
+		{"rounded-up 503 estimate", &apiError{Status: 503, Body: ErrorBody{Message: "breaker_open"}, RetryAfter: 2500 * time.Millisecond}, "3"},
+		{"422 carries no hint", &apiError{Status: 422, Body: ErrorBody{Message: "unroutable"}}, ""},
+		{"504 carries no hint", &apiError{Status: 504, Body: ErrorBody{Message: "deadline exceeded"}}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := httptest.NewRecorder()
+			s.writeError(w, tc.ae)
+			if got := w.Header().Get("Retry-After"); got != tc.wantHeader {
+				t.Fatalf("Retry-After = %q, want %q (status %d, estimate %v)",
+					got, tc.wantHeader, tc.ae.Status, tc.ae.RetryAfter)
+			}
+			if w.Code != tc.ae.Status {
+				t.Fatalf("status = %d, want %d", w.Code, tc.ae.Status)
+			}
+		})
+	}
+}

@@ -65,6 +65,16 @@ type Config struct {
 	QueueDepth int
 	// CacheBytes bounds the result cache payload bytes (default 64 MiB).
 	CacheBytes int64
+	// CacheShards splits the result cache into this many independently
+	// locked shards (consistent hash of the content address), so lookups
+	// stop serializing on one mutex under concurrent load. 0 or 1 keeps
+	// the single-mutex cache. Single-flight stays per key either way.
+	CacheShards int
+	// PartitionQubits, when positive, makes partitioned compilation the
+	// default: requests that leave partition_qubits at 0 compile with
+	// this per-part qubit cap (a negative request value still forces the
+	// ordinary pipeline). 0 keeps unpartitioned compiles the default.
+	PartitionQubits int
 	// DefaultTimeout bounds each compile when the request does not set
 	// one (default 2m).
 	DefaultTimeout time.Duration
@@ -160,7 +170,7 @@ func (c Config) withDefaults() Config {
 // limits bundles the request-parsing knobs.
 func (c Config) limits() parseLimits {
 	return parseLimits{defaultTimeout: c.DefaultTimeout, maxTimeout: c.MaxTimeout,
-		allowFaults: c.AllowFaultInjection}
+		allowFaults: c.AllowFaultInjection, defaultPartition: c.PartitionQubits}
 }
 
 // Server is the compile service. Create with New, launch the workers with
@@ -168,7 +178,7 @@ func (c Config) limits() parseLimits {
 type Server struct {
 	cfg      Config
 	pool     *pool
-	cache    *ccache.Cache
+	cache    ccache.Store
 	jobs     *jobRegistry
 	mux      *http.ServeMux
 	breaker  *resilience.Breaker
@@ -207,10 +217,16 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	var cache ccache.Store
+	if cfg.CacheShards > 1 {
+		cache = ccache.NewSharded(cfg.CacheShards, cfg.CacheBytes)
+	} else {
+		cache = ccache.New(cfg.CacheBytes)
+	}
 	s := &Server{
 		cfg:         cfg,
 		pool:        newPool(cfg.Workers, cfg.QueueDepth),
-		cache:       ccache.New(cfg.CacheBytes),
+		cache:       cache,
 		jobs:        jobs,
 		mux:         http.NewServeMux(),
 		breaker:     resilience.NewBreaker(resilience.BreakerSettings{Threshold: cfg.BreakerThreshold, Cooldown: cfg.BreakerCooldown}),
@@ -281,6 +297,19 @@ func (s *Server) execute(ctx context.Context, ct *compileTask, attempt int) ([]b
 	}
 	s.compiles.Inc()
 	start := time.Now()
+	if ct.opts.Partition.MaxQubitsPerPart > 0 {
+		pres, err := tqec.CompilePartitionedContext(ctx, ct.circuit, ct.opts)
+		elapsed := time.Since(start)
+		s.compileHist.Observe(elapsed)
+		if err != nil {
+			return nil, err
+		}
+		s.observeCompileEWMA(elapsed)
+		for stage, hist := range s.stageHists {
+			hist.Observe(pres.Breakdown.Get(stage))
+		}
+		return EncodePartitionedResult(ct.key, ct.circuit.Name, ct.opts.Partition.MaxQubitsPerPart, pres)
+	}
 	res, err := tqec.CompileContext(ctx, ct.circuit, ct.opts)
 	elapsed := time.Since(start)
 	s.compileHist.Observe(elapsed)
@@ -609,7 +638,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // writeError emits a structured error response, stamping 429s with the
 // queue-depth headers the issue of backpressure calls for and backoff
-// rejections with a Retry-After hint (whole seconds, rounded up).
+// rejections with a Retry-After hint (whole seconds, rounded up). Every
+// 429/503 carries the header, clamped to at least one second: RFC 9110
+// clients treat Retry-After: 0 as "retry immediately", so a sub-second (or
+// absent) estimate on a shed response would invite an instant hammer of
+// the very queue or breaker that is shedding load.
 func (s *Server) writeError(w http.ResponseWriter, ae *apiError) {
 	s.errorsTotal.Inc()
 	if ae.Status == http.StatusTooManyRequests {
@@ -618,8 +651,11 @@ func (s *Server) writeError(w http.ResponseWriter, ae *apiError) {
 		w.Header().Set("X-Tqecd-Queue-Depth", strconv.Itoa(depth))
 		w.Header().Set("X-Tqecd-Queue-Capacity", strconv.Itoa(capacity))
 	}
-	if ae.RetryAfter > 0 {
+	if ae.RetryAfter > 0 || ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable {
 		secs := int64((ae.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
 	s.writeJSON(w, ae.Status, ErrorResponse{Error: ae.Body})

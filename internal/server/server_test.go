@@ -338,7 +338,7 @@ func TestMetricsJSONGolden(t *testing.T) {
 	const want = `{"server":{"requests":0,"compiles":0,"errors":0,"rejected":0,"write_errors":0},` +
 		`"queue":{"depth":0,"capacity":8,"workers":2,"busy":0},` +
 		`"jobs":{"submitted":0,"queued":0,"running":0,"done":0,"failed":0,"evicted":0},` +
-		`"cache":{"hits":0,"misses":0,"shared":0,"evictions":0,"uncacheable":0,"entries":0,"bytes":0,"max_bytes":1024},` +
+		`"cache":{"lookups":0,"hits":0,"misses":0,"shared":0,"evictions":0,"uncacheable":0,"entries":0,"bytes":0,"max_bytes":1024},` +
 		`"resilience":{"retries":0,"transient_faults":0,"breaker_state":"closed","breaker_trips":0,"admission_rejected":0,"compile_ewma_ns":0},` +
 		`"latency_ns":{` +
 		`"compile":{"count":0,"sum_ns":0,"min_ns":0,"max_ns":0},` +

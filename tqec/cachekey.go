@@ -15,7 +15,7 @@ import (
 // cacheKeyVersion tags the option-encoding layout hashed into CacheKey;
 // bump it whenever a semantic Options field is added or the encoding
 // changes so old addresses can never alias new configurations.
-const cacheKeyVersion = 3
+const cacheKeyVersion = 4
 
 // CanonicalOptions returns a copy of opts normalized for content
 // addressing: non-semantic fields are cleared (Hooks callbacks, the
@@ -42,6 +42,12 @@ func CanonicalOptions(opts Options) Options {
 	// semantics), so Chains is then irrelevant to the result.
 	if opts.Place.Restarts >= 2 {
 		opts.Place.Chains = 0
+	}
+	// A non-positive partition cap is pass-through, under which the
+	// partition seed never feeds a PRNG.
+	if opts.Partition.MaxQubitsPerPart <= 0 {
+		opts.Partition.MaxQubitsPerPart = 0
+		opts.Partition.Seed = 0
 	}
 	return opts
 }
@@ -114,6 +120,9 @@ func appendOptions(b []byte, o Options) []byte {
 	b = appendBool(b, o.Route.Fallback)
 	b = appendBool(b, o.Route.Bidirectional)
 	b = appendBool(b, o.Route.Steiner)
+
+	b = appendI64(b, int64(o.Partition.MaxQubitsPerPart))
+	b = appendI64(b, o.Partition.Seed)
 	return b
 }
 

@@ -45,6 +45,7 @@ import (
 	"repro/internal/icm"
 	"repro/internal/metrics"
 	"repro/internal/modular"
+	"repro/internal/partition"
 	"repro/internal/place"
 	"repro/internal/qc"
 	"repro/internal/route"
@@ -109,6 +110,13 @@ type Options struct {
 	Place place.Options
 	// Route configures the dual-defect net router.
 	Route route.Options
+	// Partition configures the qubit-interaction-graph partitioner used
+	// by CompilePartitionedContext: a positive MaxQubitsPerPart splits
+	// the decomposed circuit into independently compiled sub-circuits
+	// stitched into disjoint time slabs (see internal/partition).
+	// CompileContext ignores it; CompilePartitionedContext with a
+	// non-positive cap behaves exactly like CompileContext.
+	Partition partition.Options
 }
 
 // DefaultOptions returns the journal-version flow with the paper's SA
